@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches.
+ *
+ * Every bench binary prints machine-readable rows of the form
+ *   [row] <figure>; <series>; <x>; <value>; <unit>
+ * followed by a
+ *   [paper_shape_check] <figure>: PASS/FAIL - <explanation>
+ * line stating whether the qualitative shape of the paper's result
+ * holds, and then runs its google-benchmark microbenchmarks.
+ */
+
+#ifndef EHPSIM_BENCH_BENCH_UTIL_HH
+#define EHPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace ehpsim
+{
+namespace bench
+{
+
+inline void
+printHeader(const std::string &figure, const std::string &title)
+{
+    std::printf("==== %s: %s ====\n", figure.c_str(), title.c_str());
+}
+
+inline void
+printRow(const std::string &figure, const std::string &series,
+         const std::string &x, double value, const std::string &unit)
+{
+    std::printf("[row] %s; %s; %s; %.4g; %s\n", figure.c_str(),
+                series.c_str(), x.c_str(), value, unit.c_str());
+}
+
+inline void
+shapeCheck(const std::string &figure, bool pass,
+           const std::string &explanation)
+{
+    std::printf("[paper_shape_check] %s: %s - %s\n", figure.c_str(),
+                pass ? "PASS" : "FAIL", explanation.c_str());
+}
+
+} // namespace bench
+} // namespace ehpsim
+
+#endif // EHPSIM_BENCH_BENCH_UTIL_HH

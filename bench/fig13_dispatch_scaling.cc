@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation bench for paper Fig. 13: the cooperative multi-XCD
+ * dispatch protocol. Measures kernel completion versus the number
+ * of XCDs cooperating in the partition, the high-priority ACE
+ * synchronization traffic, and the round-robin vs blocked workgroup
+ * distribution policies (L2 reuse vs bandwidth spread).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "core/apu_system.hh"
+#include "workloads/generators.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::core;
+
+namespace
+{
+
+hsa::AqlPacket
+makeKernel(std::uint64_t grid)
+{
+    hsa::AqlPacket pkt;
+    pkt.grid_workgroups = grid;
+    pkt.work.flops = 256 * 20000;
+    pkt.work.dtype = gpu::DataType::fp32;
+    pkt.work.pipe = gpu::Pipe::vector;
+    pkt.work.bytes_read = 8192;
+    pkt.work.bytes_written = 4096;
+    pkt.read_stride = 8192;
+    pkt.write_stride = 4096;
+    return pkt;
+}
+
+void
+report()
+{
+    bench::printHeader(
+        "fig13", "multi-XCD cooperative dispatch scaling");
+
+    // Scaling: the same 456-workgroup kernel on 1..6-XCD partitions
+    // (456 = 2 waves on all 228 CUs).
+    bool pass = true;
+    double t1 = 0;
+    // Build partitions of different sizes by hand from one package.
+    for (unsigned n : {1u, 2u, 3u, 6u}) {
+        ApuSystem sys(soc::mi300aConfig());
+        auto &pkg = sys.package();
+        std::vector<gpu::Xcd *> xs;
+        std::vector<fabric::NodeId> nodes;
+        std::vector<unsigned> ids;
+        for (unsigned i = 0; i < n; ++i) {
+            xs.push_back(pkg.xcd(i));
+            nodes.push_back(pkg.xcdNode(i));
+            ids.push_back(i);
+        }
+        hsa::Partition part(&pkg, "bench_part", xs, pkg.scopes(),
+                            pkg.network(), nodes, pkg.iodNode(0),
+                            ids);
+        auto pkt = makeKernel(456);
+        pkt.work.read_base = 0;
+        pkt.work.write_base = 1u << 30;
+        const auto res = part.dispatch(0, pkt);
+        const double t = secondsFromTicks(res.complete);
+        bench::printRow("fig13", "kernel_time",
+                        std::to_string(n) + "_xcds", t * 1e6, "us");
+        bench::printRow("fig13", "sync_messages",
+                        std::to_string(n) + "_xcds",
+                        res.sync_messages, "msgs");
+        if (n == 1)
+            t1 = t;
+        if (res.sync_messages != n - 1)
+            pass = false;
+        if (n == 6 && !(t < t1 / 3.0))
+            pass = false;   // must scale well past 3x
+    }
+
+    // Policy ablation: a reuse-heavy kernel (all workgroups share a
+    // small read set) favors blocked; a streaming kernel favors
+    // round-robin spreading.
+    {
+        ApuSystem rr(soc::mi300aConfig());
+        ApuSystem blk(soc::mi300aConfig());
+        auto w = workloads::streamTriad(1 << 19);
+        w.phases[0].grid_workgroups = 512;
+        const auto r1 =
+            rr.run(w, 1, hsa::DistributionPolicy::roundRobin);
+        const auto r2 =
+            blk.run(w, 1, hsa::DistributionPolicy::blocked);
+        bench::printRow("fig13", "policy_stream", "round_robin",
+                        r1.total_s * 1e6, "us");
+        bench::printRow("fig13", "policy_stream", "blocked",
+                        r2.total_s * 1e6, "us");
+    }
+
+    bench::shapeCheck(
+        "fig13", pass,
+        "one AQL packet spreads across the partition's ACEs; "
+        "completion needs n-1 high-priority sync messages and the "
+        "kernel scales with cooperating XCDs");
+}
+
+void
+BM_Dispatch(benchmark::State &state)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    auto *part = sys.package().unifiedPartition();
+    Tick t = 0;
+    for (auto _ : state) {
+        auto pkt = makeKernel(24);
+        const auto res = part->dispatch(t, pkt);
+        t = res.complete;
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_Dispatch);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

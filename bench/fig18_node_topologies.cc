@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces paper Fig. 18: scalable node topologies. (a) four
+ * MI300A APUs fully connected with two x16 IF links per pair;
+ * (b) eight MI300X accelerators fully connected with one x16 IF
+ * link per pair plus PCIe host links. Reports p2p bandwidth and
+ * latency, all-to-all exchange time, and bisection bandwidth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "soc/node_topology.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::soc;
+
+namespace
+{
+
+void
+report()
+{
+    bench::printHeader("fig18", "MI300 node topologies");
+    SimObject root(nullptr, "root");
+
+    bool pass = true;
+    {
+        auto quad = NodeTopology::mi300aQuadNode(&root);
+        const double p2p = quad->p2pBandwidth(0, 1);
+        const Tick lat = quad->p2pLatency(0, 2);
+        bench::printRow("fig18a", "p2p_bandwidth", "pair",
+                        p2p / 1e9, "GB/s");
+        bench::printRow("fig18a", "p2p_latency", "pair",
+                        secondsFromTicks(lat) * 1e9, "ns");
+        bench::printRow("fig18a", "bisection",
+                        "2v2", quad->bisectionBandwidth() / 1e9,
+                        "GB/s");
+        bench::printRow("fig18a", "free_links_per_socket", "nic",
+                        quad->freeLinks(0), "x16");
+        const Tick a2a = quad->allToAll(0, 256u << 20);
+        bench::printRow("fig18a", "all_to_all_256MB", "quad",
+                        secondsFromTicks(a2a) * 1e3, "ms");
+        // Two x16 per pair = 128 GB/s per direction; 2 links spare.
+        pass = pass && std::abs(p2p / 1e9 - 128.0) < 1.0 &&
+               quad->freeLinks(0) == 2;
+    }
+
+    {
+        auto octo = NodeTopology::mi300xOctoNode(&root);
+        const double p2p = octo->p2pBandwidth(2, 5);
+        bench::printRow("fig18b", "p2p_bandwidth", "pair",
+                        p2p / 1e9, "GB/s");
+        bench::printRow("fig18b", "bisection", "4v4",
+                        octo->bisectionBandwidth() / 1e9, "GB/s");
+        const Tick a2a = octo->allToAll(0, 64u << 20);
+        bench::printRow("fig18b", "all_to_all_64MB", "octo",
+                        secondsFromTicks(a2a) * 1e3, "ms");
+        // Host reachability over PCIe.
+        const double host_bw = octo->p2pBandwidth(0, 8);
+        bench::printRow("fig18b", "host_link", "pcie",
+                        host_bw / 1e9, "GB/s");
+        pass = pass && std::abs(p2p / 1e9 - 64.0) < 1.0 &&
+               octo->freeLinks(0) == 0 &&
+               std::abs(host_bw / 1e9 - 64.0) < 1.0;
+    }
+
+    bench::shapeCheck(
+        "fig18", pass,
+        "quad-APU node: 2x16 IF per pair (128 GB/s), 2 links spare "
+        "per socket; octo-MI300X node: fully connected at 64 GB/s "
+        "with the last link as PCIe to the host");
+}
+
+void
+BM_AllToAll(benchmark::State &state)
+{
+    SimObject root(nullptr, "root");
+    auto quad = NodeTopology::mi300aQuadNode(&root);
+    Tick t = 0;
+    for (auto _ : state) {
+        t = quad->allToAll(t, 1u << 20);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_AllToAll);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Reproduces paper Fig. 21: Llama-2 70B inference latency (median),
+ * batch 1, 2048 input tokens, 128 output tokens:
+ *   1. MI300X+vLLM vs baseline GPU+vLLM          (paper: >2x)
+ *   2. MI300X+vLLM vs baseline GPU+TensorRT-LLM  (paper: ~1.3x)
+ *   3. MI300X+vLLM FP16 vs baseline+TRT-LLM FP8  (paper: MI300X
+ *      still ahead on absolute latency)
+ *
+ * Software stacks are modeled as sustained-efficiency factors on
+ * the roofline (documented below); the hardware story — 192 GB @
+ * 5.3 TB/s vs 80 GB @ 3.35 TB/s — comes from the machine models.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "core/machine_model.hh"
+#include "core/roofline.hh"
+#include "workloads/generators.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::core;
+using namespace ehpsim::workloads;
+
+namespace
+{
+
+/**
+ * Sustained fraction of peak (math and bandwidth) per software
+ * stack. vLLM's kernels are well tuned for MI300X (AMD's launch
+ * stack) but generic on the baseline; TensorRT-LLM is the
+ * vendor-optimized stack for the baseline GPU; its FP8 path trades
+ * some efficiency for the halved footprint.
+ */
+struct Stack
+{
+    const char *name;
+    double efficiency;
+    gpu::DataType dtype;
+};
+
+double
+inferenceLatency(const MachineModel &machine, const Stack &stack)
+{
+    LlmConfig cfg;
+    cfg.dtype = stack.dtype;
+
+    MachineModel m = machine;
+    m.gpu_efficiency = stack.efficiency;
+    m.mem_efficiency = stack.efficiency;
+    // Model weights beyond device capacity would page over the host
+    // link; none of the Fig. 21 configs hit that (FP8 halves the
+    // 140 GB to 70 GB on the 80 GB baseline).
+    const RooflineEngine eng(m);
+    const auto rep = eng.run(llmInference(cfg));
+    return rep.total_s;
+}
+
+void
+report()
+{
+    bench::printHeader(
+        "fig21", "Llama-2 70B inference latency (batch 1, "
+                 "2048 in / 128 out)");
+
+    // Efficiencies: vLLM was AMD's launch stack on MI300X (well
+    // tuned there, generic on the baseline); TensorRT-LLM is the
+    // baseline vendor's heavily optimized stack; its FP8 path gives
+    // up sustained efficiency for the halved footprint (quantize /
+    // dequantize epilogues, less mature kernels).
+    const Stack vllm_mi300x = {"vLLM", 0.70, gpu::DataType::fp16};
+    const Stack vllm_base = {"vLLM", 0.40, gpu::DataType::fp16};
+    const Stack trt_base = {"TensorRT-LLM", 0.80,
+                            gpu::DataType::fp16};
+    const Stack trt_fp8_base = {"TensorRT-LLM-FP8", 0.45,
+                                gpu::DataType::fp8};
+
+    const auto mi300x = mi300xModel();
+    const auto baseline = baselineGpuModel();
+
+    const double t_mi300x = inferenceLatency(mi300x, vllm_mi300x);
+    const double t_base_vllm = inferenceLatency(baseline, vllm_base);
+    const double t_base_trt = inferenceLatency(baseline, trt_base);
+    const double t_base_fp8 =
+        inferenceLatency(baseline, trt_fp8_base);
+
+    bench::printRow("fig21", "latency", "mi300x_vllm_fp16",
+                    t_mi300x * 1e3, "ms");
+    bench::printRow("fig21", "latency", "baseline_vllm_fp16",
+                    t_base_vllm * 1e3, "ms");
+    bench::printRow("fig21", "latency", "baseline_trtllm_fp16",
+                    t_base_trt * 1e3, "ms");
+    bench::printRow("fig21", "latency", "baseline_trtllm_fp8",
+                    t_base_fp8 * 1e3, "ms");
+
+    const double vs_vllm = t_base_vllm / t_mi300x;
+    const double vs_trt = t_base_trt / t_mi300x;
+    const double vs_fp8 = t_base_fp8 / t_mi300x;
+    bench::printRow("fig21", "speedup", "vs_baseline_vllm", vs_vllm,
+                    "x");
+    bench::printRow("fig21", "speedup", "vs_baseline_trtllm",
+                    vs_trt, "x");
+    bench::printRow("fig21", "speedup", "vs_baseline_trtllm_fp8",
+                    vs_fp8, "x");
+
+    // Capacity side of the story: FP16 weights fit MI300X only.
+    bench::printRow("fig21", "capacity", "weights_fp16_GB", 140.0,
+                    "GB");
+    bench::printRow("fig21", "capacity", "mi300x_GB",
+                    static_cast<double>(mi300x.mem_capacity) / 1e9,
+                    "GB");
+    bench::printRow("fig21", "capacity", "baseline_GB",
+                    static_cast<double>(baseline.mem_capacity) / 1e9,
+                    "GB");
+
+    const bool pass = vs_vllm > 2.0 &&
+                      vs_trt > 1.15 && vs_trt < 1.7 &&
+                      vs_fp8 > 1.0 &&
+                      140e9 > static_cast<double>(
+                                  baseline.mem_capacity) &&
+                      140e9 < static_cast<double>(
+                                  mi300x.mem_capacity);
+    bench::shapeCheck(
+        "fig21", pass,
+        ">2x vs baseline vLLM, ~1.3x vs TensorRT-LLM, and still "
+        "ahead in absolute latency when the baseline drops to FP8 "
+        "(vLLM has no FP8 path); FP16 weights only fit MI300X");
+}
+
+void
+BM_LlmRoofline(benchmark::State &state)
+{
+    const RooflineEngine eng(mi300xModel());
+    LlmConfig cfg;
+    const auto w = llmInference(cfg);
+    for (auto _ : state) {
+        auto rep = eng.run(w);
+        benchmark::DoNotOptimize(rep.total_s);
+    }
+}
+BENCHMARK(BM_LlmRoofline);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * ehpsim command-line driver: pick a product, a workload, an engine,
+ * and run it.
+ *
+ *   ehpsim_cli [--product mi300a|mi300x|mi250x|ehpv3|ehpv4]
+ *              [--workload triad|gemm|nbody|hpcg|cfd|gromacs|llm]
+ *              [--engine event|roofline]
+ *              [--partitions N] [--policy rr|blocked] [--nps 1|4]
+ *              [--scale N] [--trace out.json] [--stats]
+ *
+ * Examples:
+ *   ehpsim_cli --product mi300a --workload cfd --engine roofline
+ *   ehpsim_cli --product mi300x --workload triad --partitions 8
+ *   ehpsim_cli --workload llm --engine roofline --trace llm.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/apu_system.hh"
+#include "core/machine_model.hh"
+#include "core/roofline.hh"
+#include "core/trace.hh"
+#include "sim/logging.hh"
+#include "workloads/generators.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::core;
+using namespace ehpsim::workloads;
+
+namespace
+{
+
+struct Options
+{
+    std::string product = "mi300a";
+    std::string workload = "triad";
+    std::string engine = "event";
+    unsigned partitions = 1;
+    std::string policy = "rr";
+    unsigned nps = 1;
+    std::uint64_t scale = 1;
+    std::string trace_path;
+    bool dump_stats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--product P] [--workload W] "
+                 "[--engine event|roofline]\n"
+                 "          [--partitions N] [--policy rr|blocked] "
+                 "[--nps 1|4] [--scale N]\n"
+                 "          [--trace FILE] [--stats]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--product")
+            opt.product = next();
+        else if (arg == "--workload")
+            opt.workload = next();
+        else if (arg == "--engine")
+            opt.engine = next();
+        else if (arg == "--partitions")
+            opt.partitions = std::stoul(next());
+        else if (arg == "--policy")
+            opt.policy = next();
+        else if (arg == "--nps")
+            opt.nps = std::stoul(next());
+        else if (arg == "--scale")
+            opt.scale = std::stoull(next());
+        else if (arg == "--trace")
+            opt.trace_path = next();
+        else if (arg == "--stats")
+            opt.dump_stats = true;
+        else
+            usage(argv[0]);
+    }
+    return opt;
+}
+
+soc::ProductConfig
+productFor(const std::string &name)
+{
+    if (name == "mi300a")
+        return soc::mi300aConfig();
+    if (name == "mi300x")
+        return soc::mi300xConfig();
+    if (name == "mi250x")
+        return soc::mi250xConfig();
+    if (name == "ehpv3")
+        return soc::ehpv3Config();
+    if (name == "ehpv4")
+        return soc::ehpv4Config();
+    fatal("unknown product '", name, "'");
+}
+
+MachineModel
+modelFor(const std::string &name)
+{
+    if (name == "mi300a")
+        return mi300aModel();
+    if (name == "mi300x")
+        return mi300xModel();
+    if (name == "mi250x")
+        return mi250xNodeModel();
+    fatal("no analytical model for product '", name,
+          "' (use --engine event)");
+}
+
+Workload
+workloadFor(const std::string &name, std::uint64_t scale)
+{
+    if (name == "triad") {
+        auto w = streamTriad((1u << 19) * scale);
+        w.phases[0].grid_workgroups = 512;
+        return w;
+    }
+    if (name == "gemm")
+        return gemm(2048 * scale, 2048, 2048, gpu::DataType::fp16,
+                    gpu::Pipe::matrix);
+    if (name == "nbody")
+        return nbody(100'000 * scale, 5);
+    if (name == "hpcg")
+        return hpcg(128 * scale, 128, 128, 10);
+    if (name == "cfd")
+        return cfdSolver(2'000'000 * scale, 5);
+    if (name == "gromacs")
+        return gromacsLike(1'000'000 * scale, 5);
+    if (name == "llm")
+        return llmInference(LlmConfig{});
+    fatal("unknown workload '", name, "'");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    const auto workload = workloadFor(opt.workload, opt.scale);
+    std::printf("ehpsim: %s on %s via %s engine\n",
+                workload.name.c_str(), opt.product.c_str(),
+                opt.engine.c_str());
+
+    RunReport report;
+    if (opt.engine == "roofline") {
+        const RooflineEngine eng(modelFor(opt.product));
+        report = eng.run(workload);
+    } else if (opt.engine == "event") {
+        ApuSystem sys(productFor(opt.product),
+                      opt.nps == 4 ? mem::NumaMode::nps4
+                                   : mem::NumaMode::nps1);
+        const auto policy = opt.policy == "blocked"
+                                ? hsa::DistributionPolicy::blocked
+                                : hsa::DistributionPolicy::roundRobin;
+        report = sys.run(workload, opt.partitions, policy);
+        if (opt.dump_stats)
+            sys.dumpStats(std::cout);
+    } else {
+        usage(argv[0]);
+    }
+
+    std::printf("\n%-24s %12s %10s %10s %10s\n", "phase", "total",
+                "gpu", "cpu", "copies");
+    for (const auto &p : report.phases) {
+        std::printf("%-24s %9.3f ms %7.3f ms %7.3f ms %7.3f ms\n",
+                    p.name.c_str(), p.total_s * 1e3, p.gpu_s * 1e3,
+                    p.cpu_s * 1e3, p.transfer_s * 1e3);
+    }
+    std::printf("%-24s %9.3f ms\n", "TOTAL", report.total_s * 1e3);
+    const double flops =
+        static_cast<double>(workload.totalGpuFlops());
+    if (flops > 0 && report.total_s > 0) {
+        std::printf("achieved: %.2f Tflops, %.2f TB/s\n",
+                    flops / report.total_s / 1e12,
+                    static_cast<double>(workload.totalGpuBytes()) /
+                        report.total_s / 1e12);
+    }
+    if (!opt.trace_path.empty()) {
+        writeChromeTrace(report, opt.trace_path);
+        std::printf("trace written to %s\n", opt.trace_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Physical-design walkthrough (paper Secs. V.B-V.E): compose a
+ * modular chiplet package the way MI300 does —
+ *  1. define an IOD TSV plan with mirror-redundant signal banks;
+ *  2. verify unmirrored chiplets land on all four IOD instances;
+ *  3. check power delivery against the TSV/microbump ratings;
+ *  4. build the floorplan, allocate power with the governor, and
+ *     solve the thermal map for both Fig. 12 scenarios.
+ *
+ *   ./build/examples/package_designer
+ */
+
+#include <cstdio>
+
+#include "geom/alignment.hh"
+#include "geom/power_delivery.hh"
+#include "power/governor.hh"
+#include "power/thermal.hh"
+#include "soc/floorplan_builder.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::geom;
+
+int
+main()
+{
+    // --- 1. IOD TSV plan -------------------------------------------
+    IodTsvPlan iod(11.5, 11.5);
+    iod.addBank({"xcd_land_w", {2.8, 4.0, 1.5, 3.0}, 0.25});
+    iod.addBank({"xcd_land_e", {6.8, 3.8, 1.5, 3.0}, 0.25});
+    const auto before = iod.numSites();
+    iod.addMirrorRedundancy();
+    std::printf("IOD signal TSVs: %zu base + %zu redundant (Fig. 9 "
+                "red circles)\n",
+                before, iod.numSites() - before);
+
+    // --- 2. Chiplet alignment across all IOD instances -------------
+    ChipletFootprint xcd("xcd", 7.5, 5.5);
+    xcd.addBank({"tsv_w", {0.8, 1.0, 1.5, 3.0}, 0.25});
+    xcd.addBank({"tsv_e", {4.8, 0.8, 1.5, 3.0}, 0.25});
+    for (Orient o : allOrients) {
+        Orient chip_o = Orient::r0;
+        double ox = 2.0, oy = 3.0;
+        if (o == Orient::r180 || o == Orient::mirroredR180) {
+            chip_o = Orient::r180;
+            ox = iod.width() - 2.0 - xcd.width();
+            oy = iod.height() - 3.0 - xcd.height();
+        }
+        const auto res =
+            iod.checkStackAlignment(xcd, chip_o, ox, oy, o);
+        std::printf("  IOD %-13s chiplet %-5s: %zu/%zu pads %s\n",
+                    orientName(o), orientName(chip_o),
+                    res.pads_aligned, res.pads_checked,
+                    res.aligned ? "ALIGNED" : "MISALIGNED");
+    }
+
+    // --- 3. Power delivery (Sec. V.D) -------------------------------
+    PowerDeliveryModel pdn(0.75);
+    pdn.addPath({"tsv_grid", 6 * 72.0 + 3 * 71.0, 1.5, 0.02});
+    pdn.addPath({"iod_ubump", 4 * 115.0, 0.5, 0.05});
+    const auto tsv = pdn.check("tsv_grid", 360.0);
+    const auto bump = pdn.check("iod_ubump", 140.0);
+    std::printf("\nPower delivery at 0.75 V:\n");
+    std::printf("  TSV grid:  %.0f A demand vs %.0f A capacity "
+                "(margin %.2fx, I2R %.1f W) %s\n",
+                tsv.demand_a, tsv.capacity_a, tsv.margin,
+                tsv.i2r_loss_w, tsv.ok ? "OK" : "OVER");
+    std::printf("  microbump: %.0f A demand vs %.0f A capacity "
+                "(margin %.2fx) %s\n",
+                bump.demand_a, bump.capacity_a, bump.margin,
+                bump.ok ? "OK" : "OVER");
+
+    // The Fig. 10 co-design: SRAM macros pitch-matched between TSV
+    // power stripes.
+    PowerTsvGrid grid({0, 0, 11.5, 11.5}, 0.12);
+    std::printf("  P/G TSV grid: %zu sites, %.0f sites/mm^2, "
+                "%.2f mm SRAM channel between stripes\n",
+                grid.numSites(), grid.density(),
+                grid.channelWidth(0.03));
+
+    // --- 4. Floorplan + governor + thermal --------------------------
+    const auto plan =
+        soc::buildPackageFloorplan(soc::mi300aConfig());
+    std::printf("\nFloorplan: %zu regions, %.0f%% utilization, "
+                "overlap-free: %s\n",
+                plan.regions().size(), plan.utilization() * 100,
+                plan.overlapFree() ? "yes" : "NO");
+
+    SimObject root(nullptr, "root", nullptr);
+    auto *model = power::PowerModel::makeMi300a(&root);
+    power::PowerGovernor gov(&root, "gov", model);
+    power::ThermalGrid thermal(&root, "thermal", &plan);
+
+    const struct
+    {
+        const char *name;
+        power::PowerDistribution dist;
+    } scenarios[] = {
+        {"compute-intensive (Fig. 12b)",
+         power::computeIntensiveDistribution()},
+        {"memory-intensive (Fig. 12c)",
+         power::memoryIntensiveDistribution()},
+    };
+    for (const auto &s : scenarios) {
+        const auto alloc = gov.allocateForDistribution(s.dist);
+        thermal.solve(
+            soc::regionPowerVector(plan, alloc.perDomain(*model)));
+        std::printf("\n%s: %.0f W allocated, hottest=%s "
+                    "(%.1f C max)\n%s",
+                    s.name, alloc.total,
+                    thermal.hottestRegion().c_str(),
+                    thermal.maxTemperature(),
+                    thermal.asciiHeatMap(56, 18).c_str());
+    }
+    delete model;
+    return 0;
+}

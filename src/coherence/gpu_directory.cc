@@ -1,0 +1,161 @@
+#include "coherence/gpu_directory.hh"
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace coherence
+{
+
+GpuDirectory::GpuDirectory(SimObject *parent, const std::string &name,
+                           unsigned line_bytes)
+    : SimObject(parent, name),
+      lookups(this, "lookups", "directory lookups"),
+      probes_sent(this, "probes_sent", "probes sent to XCD caches"),
+      memory_fetches(this, "memory_fetches", "fills from memory"),
+      writebacks(this, "writebacks", "dirty data pushed to memory"),
+      line_mask_(line_bytes - 1)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)))
+        fatal("GPU directory line size must be a power of two");
+}
+
+CoherenceOutcome
+GpuDirectory::read(AgentId agent, Addr addr)
+{
+    if (agent >= maxAgents)
+        fatal("agent id out of range");
+    ++lookups;
+    const Addr line = align(addr);
+    CoherenceOutcome out;
+    auto &e = dir_[line];
+    const std::uint64_t self = 1ull << agent;
+
+    if (e.sharers & self) {
+        if (e.modified && e.owner == agent)
+            return out;         // already the writer
+        if (!e.modified)
+            return out;         // already a sharer
+    }
+
+    if (e.modified) {
+        // Simpler protocol: the Modified copy is written back to
+        // memory and downgraded; the reader then fetches from
+        // memory. (MOESI would forward cache-to-cache into Owned.)
+        out.probes = 1;
+        ++probes_sent;
+        out.writeback = true;
+        ++writebacks;
+        e.modified = false;
+    }
+    out.data_from_memory = true;
+    ++memory_fetches;
+    e.sharers |= self;          // cold reads install Shared (no E)
+    return out;
+}
+
+CoherenceOutcome
+GpuDirectory::write(AgentId agent, Addr addr)
+{
+    if (agent >= maxAgents)
+        fatal("agent id out of range");
+    ++lookups;
+    const Addr line = align(addr);
+    CoherenceOutcome out;
+    auto &e = dir_[line];
+    const std::uint64_t self = 1ull << agent;
+
+    if (e.modified && e.owner == agent)
+        return out;             // silent upgrade of own M line
+
+    if (e.modified) {
+        // Writeback-then-fetch, as in read(): no dirty forwarding.
+        out.probes = 1;
+        ++probes_sent;
+        out.invalidations = 1;
+        out.writeback = true;
+        ++writebacks;
+        e.sharers &= ~(1ull << e.owner);
+    }
+    const std::uint64_t others = e.sharers & ~self;
+    const unsigned n =
+        static_cast<unsigned>(__builtin_popcountll(others));
+    out.probes += n;
+    probes_sent += n;
+    out.invalidations += n;
+
+    out.data_from_memory = true;
+    ++memory_fetches;
+    e.modified = true;
+    e.owner = agent;
+    e.sharers = self;
+    return out;
+}
+
+CoherenceOutcome
+GpuDirectory::evict(AgentId agent, Addr addr)
+{
+    ++lookups;
+    const Addr line = align(addr);
+    CoherenceOutcome out;
+    auto it = dir_.find(line);
+    if (it == dir_.end())
+        return out;
+    Entry &e = it->second;
+    const std::uint64_t self = 1ull << agent;
+    if (!(e.sharers & self))
+        return out;
+    if (e.modified && e.owner == agent) {
+        out.writeback = true;
+        ++writebacks;
+        e.modified = false;
+    }
+    e.sharers &= ~self;
+    if (e.sharers == 0)
+        dir_.erase(it);
+    return out;
+}
+
+State
+GpuDirectory::lineState(Addr addr) const
+{
+    auto it = dir_.find(align(addr));
+    if (it == dir_.end() || it->second.sharers == 0)
+        return State::invalid;
+    return it->second.modified ? State::modified : State::shared;
+}
+
+std::vector<AgentId>
+GpuDirectory::holders(Addr addr) const
+{
+    std::vector<AgentId> out;
+    auto it = dir_.find(align(addr));
+    if (it == dir_.end())
+        return out;
+    std::uint64_t s = it->second.sharers;
+    while (s) {
+        out.push_back(__builtin_ctzll(s));
+        s &= s - 1;
+    }
+    return out;
+}
+
+bool
+GpuDirectory::invariantsHold() const
+{
+    for (const auto &kv : dir_) {
+        const Entry &e = kv.second;
+        if (e.sharers == 0)
+            return false;
+        if (e.modified) {
+            if (__builtin_popcountll(e.sharers) != 1)
+                return false;
+            if (!(e.sharers & (1ull << e.owner)))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace coherence
+} // namespace ehpsim

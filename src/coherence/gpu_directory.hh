@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The GPU's intra-socket directory protocol (paper Sec. IV.D).
+ *
+ * "The GPUs are ... directory-based hardware coherent within a
+ * socket using a slightly simpler protocol than the CPUs use."
+ *
+ * GpuDirectory implements that simpler protocol: MSI only. There is
+ * no Exclusive state (a cold read is installed Shared) and no Owned
+ * state (losing the Modified copy always writes back to memory
+ * rather than forwarding dirty data cache-to-cache). The trade is
+ * exactly the one the paper implies: less protocol state and fewer
+ * transition edges, at the cost of extra memory writebacks and
+ * memory fetches that the CPU-side MOESI probe filter avoids.
+ * coherence tests compare the two protocols' traffic on identical
+ * access traces.
+ */
+
+#ifndef EHPSIM_COHERENCE_GPU_DIRECTORY_HH
+#define EHPSIM_COHERENCE_GPU_DIRECTORY_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/probe_filter.hh"
+
+namespace ehpsim
+{
+namespace coherence
+{
+
+class GpuDirectory : public SimObject
+{
+  public:
+    GpuDirectory(SimObject *parent, const std::string &name,
+                 unsigned line_bytes = 128);
+
+    /** A read by XCD @p agent. */
+    CoherenceOutcome read(AgentId agent, Addr addr);
+
+    /** A write by XCD @p agent. */
+    CoherenceOutcome write(AgentId agent, Addr addr);
+
+    /** @p agent drops its copy (writes back if Modified). */
+    CoherenceOutcome evict(AgentId agent, Addr addr);
+
+    /** MSI state of a line (invalid/shared/modified only). */
+    State lineState(Addr addr) const;
+
+    std::vector<AgentId> holders(Addr addr) const;
+
+    std::size_t trackedLines() const { return dir_.size(); }
+
+    /** MSI invariants: M has exactly one holder; no E/O states. */
+    bool invariantsHold() const;
+
+    /** @{ statistics */
+    stats::Scalar lookups;
+    stats::Scalar probes_sent;
+    stats::Scalar memory_fetches;
+    stats::Scalar writebacks;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        bool modified = false;
+        AgentId owner = 0;          ///< valid when modified
+        std::uint64_t sharers = 0;
+    };
+
+    Addr align(Addr addr) const { return addr & ~line_mask_; }
+
+    Addr line_mask_;
+    std::unordered_map<Addr, Entry> dir_;
+};
+
+} // namespace coherence
+} // namespace ehpsim
+
+#endif // EHPSIM_COHERENCE_GPU_DIRECTORY_HH

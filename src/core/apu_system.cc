@@ -1,0 +1,228 @@
+#include "core/apu_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace core
+{
+
+ApuSystem::ApuSystem(const soc::ProductConfig &cfg, mem::NumaMode numa)
+    : SimObject(nullptr, "system", &eq_)
+{
+    pkg_ = std::make_unique<soc::Package>(this, "package", cfg, &eq_,
+                                          numa);
+}
+
+Addr
+ApuSystem::allocate(std::uint64_t bytes)
+{
+    const std::uint64_t cap = pkg_->memCapacity();
+    const std::uint64_t aligned = (bytes + 4095) & ~std::uint64_t(4095);
+    if (alloc_cursor_ + aligned >= cap)
+        alloc_cursor_ = 0;              // wrap (simulation only)
+    const Addr base = alloc_cursor_;
+    alloc_cursor_ += aligned;
+    return base;
+}
+
+namespace
+{
+/** Lines sampled per phase for coherence accounting. */
+constexpr unsigned coherenceSamples = 64;
+} // anonymous namespace
+
+void
+ApuSystem::sampleGpuWrites(const workloads::Phase &p, Addr write_base)
+{
+    if (p.gpu_bytes_written == 0 || pkg_->numCcds() == 0)
+        return;
+    last_shared_base_ = write_base;
+    last_shared_bytes_ = p.gpu_bytes_written;
+    auto *pf = pkg_->probeFilter();
+    const std::uint64_t stride = std::max<std::uint64_t>(
+        64, p.gpu_bytes_written / coherenceSamples);
+    unsigned agent = 0;
+    for (unsigned i = 0; i < coherenceSamples; ++i) {
+        pf->write(agent, write_base + i * stride);
+        agent = (agent + 1) % pkg_->numXcds();
+    }
+}
+
+void
+ApuSystem::sampleCpuReads()
+{
+    if (last_shared_bytes_ == 0 || pkg_->numCcds() == 0)
+        return;
+    auto *pf = pkg_->probeFilter();
+    const std::uint64_t stride = std::max<std::uint64_t>(
+        64, last_shared_bytes_ / coherenceSamples);
+    for (unsigned i = 0; i < coherenceSamples; ++i) {
+        // CCD agents live above the XCD ids in the filter's space.
+        const unsigned agent =
+            pkg_->numXcds() + i % pkg_->numCcds();
+        pf->read(agent, last_shared_base_ + i * stride);
+    }
+    last_shared_bytes_ = 0;
+}
+
+Tick
+ApuSystem::runGpuPhase(Tick start, const workloads::Phase &p,
+                       std::vector<hsa::Partition *> &parts)
+{
+    const std::uint64_t grid = std::max<std::uint64_t>(
+        p.grid_workgroups, parts.size());
+    const std::uint64_t per_wg_read = p.gpu_bytes_read / grid;
+    const std::uint64_t per_wg_write = p.gpu_bytes_written / grid;
+
+    hsa::AqlPacket pkt;
+    pkt.grid_workgroups = grid;         // split below per partition
+    pkt.work.flops = p.gpu_flops / grid;
+    pkt.work.dtype = p.dtype;
+    pkt.work.pipe = p.pipe;
+    pkt.work.sparse = p.sparse;
+    pkt.work.bytes_read = per_wg_read;
+    pkt.work.bytes_written = per_wg_write;
+    pkt.work.lds_bytes = 4096;
+    pkt.read_stride = per_wg_read;
+    pkt.write_stride = per_wg_write;
+    pkt.work.read_base = allocate(p.gpu_bytes_read);
+    pkt.work.write_base = allocate(p.gpu_bytes_written);
+    sampleGpuWrites(p, pkt.work.write_base);
+
+    // A multi-partition device behaves like independent GPUs, each
+    // taking an equal slice of the grid (SR-IOV style, Fig. 17).
+    Tick done = start;
+    const std::uint64_t per_part = grid / parts.size();
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        hsa::AqlPacket sub = pkt;
+        sub.grid_workgroups =
+            i + 1 == parts.size() ? grid - assigned : per_part;
+        sub.work.read_base += assigned * pkt.read_stride;
+        sub.work.write_base += assigned * pkt.write_stride;
+        assigned += sub.grid_workgroups;
+        if (sub.grid_workgroups == 0)
+            continue;
+        const auto res = parts[i]->dispatch(start, sub);
+        done = std::max(done, res.complete);
+    }
+    return done;
+}
+
+Tick
+ApuSystem::runCpuPhase(Tick start, const workloads::Phase &p)
+{
+    const unsigned n = pkg_->numCcds();
+    if (n == 0) {
+        if (p.cpu_flops || p.cpu_scalar_ops) {
+            warn(pkg_->config().name,
+                 " has no CCDs; CPU work in phase '", p.name,
+                 "' runs on an unmodeled host (charged as zero)");
+        }
+        return start;
+    }
+    cpu::CpuWork work;
+    work.flops = p.cpu_flops / n;
+    work.scalar_ops = p.cpu_scalar_ops / n;
+    work.bytes_read = p.cpu_bytes_read / n;
+    work.bytes_written = p.cpu_bytes_written / n;
+    work.read_base = allocate(p.cpu_bytes_read);
+    work.write_base = allocate(p.cpu_bytes_written);
+
+    Tick done = start;
+    for (unsigned i = 0; i < n; ++i) {
+        cpu::CpuWork shard = work;
+        shard.read_base += i * work.bytes_read;
+        shard.write_base += i * work.bytes_written;
+        done = std::max(done,
+                        pkg_->ccd(i)->runParallel(start, shard));
+    }
+    return done;
+}
+
+RunReport
+ApuSystem::run(const workloads::Workload &w, unsigned num_partitions,
+               hsa::DistributionPolicy policy, bool fine_grained)
+{
+    auto it = partition_sets_.find(num_partitions);
+    if (it == partition_sets_.end()) {
+        it = partition_sets_
+                 .emplace(num_partitions,
+                          pkg_->partitionInto(num_partitions))
+                 .first;
+    }
+    auto &parts = it->second;
+    for (auto *p : parts)
+        p->setPolicy(policy);
+
+    RunReport rep;
+    rep.machine = pkg_->config().name;
+    rep.workload = w.name;
+
+    // Energy accounting: snapshot counters around the run.
+    const double fabric_before =
+        pkg_->network()->totalEnergyJoules();
+    double hbm_bytes_before = 0;
+    for (unsigned c = 0; c < pkg_->memMap().numChannels(); ++c)
+        hbm_bytes_before += pkg_->channel(c)->bytes_served.value();
+
+    Tick t = now_;
+    for (const auto &p : w.phases) {
+        PhaseTiming pt;
+        pt.name = p.name;
+        const Tick phase_start = t;
+
+        switch (p.device) {
+          case workloads::PhaseDevice::cpu: {
+            const Tick done = runCpuPhase(t, p);
+            pt.cpu_s = secondsFromTicks(done - t);
+            t = done;
+            break;
+          }
+          case workloads::PhaseDevice::gpu: {
+            const Tick done = runGpuPhase(t, p, parts);
+            pt.gpu_s = secondsFromTicks(done - t);
+            t = done;
+            break;
+          }
+          case workloads::PhaseDevice::gpuThenCpu: {
+            const Tick gpu_done = runGpuPhase(t, p, parts);
+            sampleCpuReads();
+            pt.gpu_s = secondsFromTicks(gpu_done - t);
+            Tick cpu_start = gpu_done;
+            if (fine_grained && p.fine_grained_capable) {
+                // Fig. 15(b): the CPU spins on completion flags and
+                // starts consuming after a short pipeline fill.
+                cpu_start =
+                    t + (gpu_done - t) / 50;    // 2% fill
+            }
+            const Tick cpu_done = runCpuPhase(cpu_start, p);
+            pt.cpu_s = secondsFromTicks(cpu_done - cpu_start);
+            t = std::max(gpu_done, cpu_done);
+            break;
+          }
+        }
+        pt.total_s = secondsFromTicks(t - phase_start);
+        rep.total_s += pt.total_s;
+        rep.phases.push_back(pt);
+    }
+    rep.fabric_energy_j =
+        pkg_->network()->totalEnergyJoules() - fabric_before;
+    double hbm_bytes_after = 0;
+    for (unsigned c = 0; c < pkg_->memMap().numChannels(); ++c)
+        hbm_bytes_after += pkg_->channel(c)->bytes_served.value();
+    // ~5 pJ/bit HBM access energy == 40 pJ/byte.
+    rep.hbm_energy_j = (hbm_bytes_after - hbm_bytes_before) * 40e-12;
+    // ~15 pJ per math op at the socket level (coarse, type-blind).
+    rep.compute_energy_j =
+        static_cast<double>(w.totalGpuFlops()) * 15e-12;
+
+    now_ = t;
+    return rep;
+}
+
+} // namespace core
+} // namespace ehpsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The event-driven execution engine: a constructed Package plus the
+ * machinery to run Workloads on it through real AQL dispatches, the
+ * cache hierarchy, the Infinity Fabric, and the HBM subsystem.
+ *
+ * This is the "coarse gem5-style simulation" counterpart to the
+ * RooflineEngine: slower, but it exercises dispatch (Fig. 13),
+ * partitioning (Fig. 17), interleaving, Infinity Cache behaviour,
+ * and fabric contention for real.
+ */
+
+#ifndef EHPSIM_CORE_APU_SYSTEM_HH
+#define EHPSIM_CORE_APU_SYSTEM_HH
+
+#include <map>
+#include <memory>
+
+#include "core/report.hh"
+#include "soc/package.hh"
+#include "workloads/workload.hh"
+
+namespace ehpsim
+{
+namespace core
+{
+
+class ApuSystem : public SimObject
+{
+  public:
+    explicit ApuSystem(const soc::ProductConfig &cfg,
+                       mem::NumaMode numa = mem::NumaMode::nps1);
+
+    soc::Package &package() { return *pkg_; }
+
+    EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * Run a workload end to end.
+     * @param num_partitions Partition count (Fig. 17 modes).
+     * @param policy Workgroup distribution across XCDs.
+     * @param fine_grained Allow flag-based CPU/GPU overlap on
+     *        capable phases (Fig. 15).
+     */
+    RunReport run(const workloads::Workload &w,
+                  unsigned num_partitions = 1,
+                  hsa::DistributionPolicy policy =
+                      hsa::DistributionPolicy::roundRobin,
+                  bool fine_grained = true);
+
+    /** Simulated seconds elapsed so far. */
+    double elapsedSeconds() const
+    {
+        return secondsFromTicks(now_);
+    }
+
+  private:
+    /** Bump allocator over the package's physical address space. */
+    Addr allocate(std::uint64_t bytes);
+
+    /** Run one phase's GPU part; @return completion tick. */
+    Tick runGpuPhase(Tick start, const workloads::Phase &p,
+                     std::vector<hsa::Partition *> &parts);
+
+    /** Run one phase's CPU part; @return completion tick. */
+    Tick runCpuPhase(Tick start, const workloads::Phase &p);
+
+    /**
+     * Account a sample of the phase's shared lines in the package's
+     * probe filter (paper Sec. IV.D): GPU writes take ownership,
+     * the consuming CPU cores' reads generate the probes.
+     */
+    void sampleGpuWrites(const workloads::Phase &p, Addr write_base);
+
+    void sampleCpuReads();
+
+    EventQueue eq_;
+    std::unique_ptr<soc::Package> pkg_;
+    std::map<unsigned, std::vector<hsa::Partition *>> partition_sets_;
+    Tick now_ = 0;
+    Addr alloc_cursor_ = 0;
+    Addr last_shared_base_ = 0;
+    std::uint64_t last_shared_bytes_ = 0;
+};
+
+} // namespace core
+} // namespace ehpsim
+
+#endif // EHPSIM_CORE_APU_SYSTEM_HH

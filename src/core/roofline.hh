@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The analytical roofline execution engine.
+ *
+ * Phase time on the GPU is max(flops / effective-peak, bytes /
+ * effective-bandwidth) plus launch overhead; CPU phases likewise.
+ * The engine's real subject is the *coupling*: on a unified-memory
+ * APU the CPU<->GPU transfers vanish and producer/consumer phases
+ * can overlap at fine grain (paper Figs. 14 and 15); on a discrete
+ * node every coupling byte crosses the host link and adds
+ * allocation/synchronization overheads.
+ */
+
+#ifndef EHPSIM_CORE_ROOFLINE_HH
+#define EHPSIM_CORE_ROOFLINE_HH
+
+#include "core/machine_model.hh"
+#include "core/report.hh"
+#include "workloads/workload.hh"
+
+namespace ehpsim
+{
+namespace core
+{
+
+/** How CPU/GPU coupling executes. */
+enum class CouplingMode
+{
+    automatic,      ///< unified machines skip copies, discrete copy
+    coarseSync,     ///< unified, but kernel-level sync only (Fig 15c)
+    fineGrained,    ///< unified + flag-based overlap (Fig 15b)
+};
+
+class RooflineEngine
+{
+  public:
+    explicit RooflineEngine(MachineModel model)
+        : model_(std::move(model))
+    {}
+
+    const MachineModel &model() const { return model_; }
+
+    RunReport run(const workloads::Workload &w,
+                  CouplingMode mode = CouplingMode::automatic) const;
+
+    /** True when the machine has any GPU math capability. */
+    bool hasGpu() const;
+
+    /** Time of one phase's GPU part, seconds (no overheads). On a
+     *  CPU-only machine the "GPU" work runs on the cores
+     *  (Fig. 14a's baseline). */
+    double gpuPhaseSeconds(const workloads::Phase &p,
+                           std::uint64_t footprint) const;
+
+    /** Time of one phase's CPU part, seconds. */
+    double cpuPhaseSeconds(const workloads::Phase &p) const;
+
+  private:
+    MachineModel model_;
+};
+
+} // namespace core
+} // namespace ehpsim
+
+#endif // EHPSIM_CORE_ROOFLINE_HH

@@ -1,0 +1,103 @@
+#include "core/trace.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace core
+{
+
+namespace
+{
+
+/** Escape a string for JSON. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+emitEvent(std::ostream &os, bool &first, const std::string &name,
+          int tid, double start_us, double dur_us)
+{
+    if (dur_us <= 0)
+        return;
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << jsonEscape(name)
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+       << ", \"ts\": " << start_us << ", \"dur\": " << dur_us << "}";
+}
+
+} // anonymous namespace
+
+void
+writeChromeTrace(const RunReport &report, std::ostream &os)
+{
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+
+    // Track names.
+    const struct
+    {
+        int tid;
+        const char *name;
+    } tracks[] = {{1, "GPU"}, {2, "CPU"}, {3, "host link"},
+                  {4, "overheads"}};
+    for (const auto &t : tracks) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\": \"thread_name\", \"ph\": \"M\", "
+              "\"pid\": 1, \"tid\": "
+           << t.tid << ", \"args\": {\"name\": \"" << t.name
+           << "\"}}";
+    }
+
+    double cursor_us = 0;
+    for (const auto &p : report.phases) {
+        const double start = cursor_us;
+        double t = start;
+        // Transfers precede the device work; overlap (total <
+        // sum of parts) is rendered by overlapping the CPU slice
+        // with the tail of the GPU slice.
+        emitEvent(os, first, p.name + " (copy)", 3, t,
+                  p.transfer_s * 1e6);
+        t += p.transfer_s * 1e6;
+        emitEvent(os, first, p.name, 1, t, p.gpu_s * 1e6);
+        const double serial = p.gpu_s + p.cpu_s + p.transfer_s +
+                              p.overhead_s;
+        const double overlap_us =
+            serial > p.total_s ? (serial - p.total_s) * 1e6 : 0;
+        const double cpu_start =
+            t + p.gpu_s * 1e6 - overlap_us;
+        emitEvent(os, first, p.name, 2,
+                  cpu_start < t ? t : cpu_start, p.cpu_s * 1e6);
+        emitEvent(os, first, p.name + " (launch/sync)", 4, start,
+                  p.overhead_s * 1e6);
+        cursor_us = start + p.total_s * 1e6;
+    }
+    os << "\n]\n}\n";
+}
+
+void
+writeChromeTrace(const RunReport &report, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file '", path, "'");
+    writeChromeTrace(report, out);
+}
+
+} // namespace core
+} // namespace ehpsim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome-tracing export of RunReports.
+ *
+ * writeChromeTrace() renders a report's phase timeline as a
+ * chrome://tracing / Perfetto JSON file with one track per device
+ * (GPU, CPU, host link), so the Fig. 15-style overlap structure of
+ * a run can be inspected visually.
+ */
+
+#ifndef EHPSIM_CORE_TRACE_HH
+#define EHPSIM_CORE_TRACE_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/report.hh"
+
+namespace ehpsim
+{
+namespace core
+{
+
+/** Write the trace JSON to @p os. */
+void writeChromeTrace(const RunReport &report, std::ostream &os);
+
+/** Write the trace JSON to @p path (fatal on I/O failure). */
+void writeChromeTrace(const RunReport &report,
+                      const std::string &path);
+
+} // namespace core
+} // namespace ehpsim
+
+#endif // EHPSIM_CORE_TRACE_HH

@@ -1,0 +1,130 @@
+#include "fabric/link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace fabric
+{
+
+const char *
+linkKindName(LinkKind k)
+{
+    switch (k) {
+      case LinkKind::onDie:
+        return "on_die";
+      case LinkKind::usr:
+        return "usr";
+      case LinkKind::interposer:
+        return "interposer";
+      case LinkKind::serdesIf:
+        return "serdes_if";
+      case LinkKind::pcie:
+        return "pcie";
+    }
+    panic("bad link kind");
+}
+
+LinkParams
+onDieLinkParams()
+{
+    // Data-fabric segment within one IOD.
+    return {LinkKind::onDie, tbps(2.0), 2'000, 0.4};
+}
+
+LinkParams
+usrLinkParams()
+{
+    // One IOD-to-IOD USR edge. The USR interfaces are sized so HBM
+    // and Infinity Cache "can be accessed as if the Infinity Fabric
+    // were implemented on a single monolithic IOD" (Sec. V.A), i.e.
+    // they do not bottleneck the 17 TB/s cache: ~3 TB/s per edge
+    // per direction. 0.4 mW/Gbps == 3.2 pJ/byte.
+    return {LinkKind::usr, tbps(3.0), 5'000, 3.2};
+}
+
+LinkParams
+interposerLinkParams()
+{
+    // IOD to one HBM stack over the 2.5D interposer: the stack's
+    // 16 channels x ~41.4 GB/s.
+    return {LinkKind::interposer, gbps(663.0), 3'000, 1.2};
+}
+
+LinkParams
+serdesIfLinkParams()
+{
+    // One x16 IF link: 64 GB/s per direction (paper Sec. VIII).
+    return {LinkKind::serdesIf, gbps(64.0), 30'000, 11.0};
+}
+
+LinkParams
+pcieLinkParams()
+{
+    // One x16 PCIe Gen5 link: 64 GB/s per direction.
+    return {LinkKind::pcie, gbps(64.0), 150'000, 14.0};
+}
+
+Link::Link(SimObject *parent, const std::string &name,
+           const LinkParams &params)
+    : SimObject(parent, name),
+      transfers(this, "transfers", "payload transfers"),
+      bytes_moved(this, "bytes_moved", "total bytes moved"),
+      hp_transfers(this, "hp_transfers",
+                   "high-priority (reserved VC) transfers"),
+      params_(params),
+      occupancy_(params.bandwidth / static_cast<double>(ticksPerSecond))
+{
+}
+
+Tick
+Link::transfer(Tick when, std::uint64_t bytes, bool high_priority)
+{
+    ++transfers;
+    bytes_moved += static_cast<double>(bytes);
+    first_use_ = std::min(first_use_, when);
+
+    Tick done;
+    if (high_priority) {
+        ++hp_transfers;
+        // Reserved VC: pays serialization at link rate but does not
+        // queue behind bulk data.
+        Tick dur = serializationTicks(bytes, params_.bandwidth);
+        done = when + dur;
+    } else {
+        done = occupancy_.occupy(when, bytes);
+        busy_ticks_ += serializationTicks(bytes, params_.bandwidth);
+    }
+    const Tick arrival = done + params_.latency;
+    last_done_ = std::max(last_done_, arrival);
+    return arrival;
+}
+
+double
+Link::energyJoules() const
+{
+    return bytes_moved.value() * params_.energy_pj_per_byte * 1e-12;
+}
+
+double
+Link::achievedBandwidth() const
+{
+    if (last_done_ <= first_use_ || first_use_ == maxTick)
+        return 0.0;
+    return bytes_moved.value() / secondsFromTicks(last_done_ -
+                                                  first_use_);
+}
+
+double
+Link::utilization() const
+{
+    if (last_done_ <= first_use_ || first_use_ == maxTick)
+        return 0.0;
+    return static_cast<double>(busy_ticks_) /
+           static_cast<double>(last_done_ - first_use_);
+}
+
+} // namespace fabric
+} // namespace ehpsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Point-to-point fabric links.
+ *
+ * The paper contrasts several physical link classes:
+ *  - USR PHYs between adjacent IODs: >10x the area bandwidth density
+ *    of SerDes, 0.4 pJ/bit, multiple TB/s (Sec. V.A, Fig. 7);
+ *  - 2D organic-substrate SerDes IF links (MI250X GCD-GCD, EHPv4,
+ *    socket-to-socket): ~64 GB/s per direction per x16;
+ *  - PCIe Gen5 x16 to hosts/NICs;
+ *  - on-die data-fabric segments and 2.5D interposer links to HBM.
+ *
+ * A Link is unidirectional: bandwidth with an occupancy queue, a
+ * propagation latency, and a transfer energy. High-priority traffic
+ * (the ACE-to-ACE synchronization channel of Sec. VI.A) bypasses the
+ * occupancy queue, modeling a reserved virtual channel.
+ */
+
+#ifndef EHPSIM_FABRIC_LINK_HH
+#define EHPSIM_FABRIC_LINK_HH
+
+#include <string>
+
+#include "mem/mem_device.hh"
+#include "sim/units.hh"
+
+namespace ehpsim
+{
+namespace fabric
+{
+
+enum class LinkKind
+{
+    onDie,          ///< data fabric within one IOD
+    usr,            ///< ultra-short-reach IOD-to-IOD PHY
+    interposer,     ///< 2.5D link from IOD to an HBM stack
+    serdesIf,       ///< x16 Infinity Fabric SerDes (2D/off-package)
+    pcie,           ///< x16 PCIe Gen5
+};
+
+const char *linkKindName(LinkKind k);
+
+struct LinkParams
+{
+    LinkKind kind = LinkKind::onDie;
+    BytesPerSecond bandwidth = tbps(2.0);   ///< per direction
+    Tick latency = 2'000;                   ///< ps propagation
+    double energy_pj_per_byte = 0.5;        ///< transfer energy
+};
+
+/** Published defaults for each link class. */
+LinkParams onDieLinkParams();
+LinkParams usrLinkParams();
+LinkParams interposerLinkParams();
+LinkParams serdesIfLinkParams();
+LinkParams pcieLinkParams();
+
+class Link : public SimObject
+{
+  public:
+    Link(SimObject *parent, const std::string &name,
+         const LinkParams &params);
+
+    const LinkParams &params() const { return params_; }
+
+    /**
+     * Move @p bytes across the link starting at @p when.
+     * @param high_priority Reserved-VC traffic (bypasses queueing).
+     * @return arrival tick of the last byte.
+     */
+    Tick transfer(Tick when, std::uint64_t bytes,
+                  bool high_priority = false);
+
+    /** Total energy spent on this link, in joules. */
+    double energyJoules() const;
+
+    /** Achieved bandwidth between the first and last transfer. */
+    double achievedBandwidth() const;
+
+    /** Utilization = busy time / wall time observed. */
+    double utilization() const;
+
+    /** @{ statistics */
+    stats::Scalar transfers;
+    stats::Scalar bytes_moved;
+    stats::Scalar hp_transfers;
+    /** @} */
+
+  private:
+    LinkParams params_;
+    mem::OccupancyTracker occupancy_;
+    Tick first_use_ = maxTick;
+    Tick last_done_ = 0;
+    Tick busy_ticks_ = 0;
+};
+
+} // namespace fabric
+} // namespace ehpsim
+
+#endif // EHPSIM_FABRIC_LINK_HH

@@ -1,0 +1,187 @@
+#include "fabric/network.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace fabric
+{
+
+Network::Network(SimObject *parent, const std::string &name)
+    : SimObject(parent, name),
+      messages(this, "messages", "messages sent"),
+      total_hops(this, "total_hops", "sum of hops over all messages")
+{
+}
+
+NodeId
+Network::addNode(const std::string &name, NodeKind kind)
+{
+    for (const auto &n : node_names_) {
+        if (n == name)
+            fatal("duplicate fabric node name '", name, "'");
+    }
+    node_names_.push_back(name);
+    node_kinds_.push_back(kind);
+    adjacency_.emplace_back();
+    invalidateRoutes();
+    return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+void
+Network::connect(NodeId a, NodeId b, const LinkParams &params)
+{
+    if (a >= numNodes() || b >= numNodes() || a == b)
+        fatal("bad fabric connection ", a, " <-> ", b);
+    const auto key_ab = std::make_pair(a, b);
+    const auto key_ba = std::make_pair(b, a);
+    if (links_.count(key_ab))
+        fatal("duplicate link ", nodeName(a), " -> ", nodeName(b));
+    links_[key_ab] = std::make_unique<Link>(
+        this, nodeName(a) + "_to_" + nodeName(b), params);
+    links_[key_ba] = std::make_unique<Link>(
+        this, nodeName(b) + "_to_" + nodeName(a), params);
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    invalidateRoutes();
+}
+
+NodeId
+Network::nodeByName(const std::string &name) const
+{
+    for (NodeId i = 0; i < node_names_.size(); ++i) {
+        if (node_names_[i] == name)
+            return i;
+    }
+    fatal("unknown fabric node '", name, "'");
+}
+
+const std::string &
+Network::nodeName(NodeId id) const
+{
+    if (id >= node_names_.size())
+        fatal("bad node id ", id);
+    return node_names_[id];
+}
+
+Link *
+Network::link(NodeId a, NodeId b)
+{
+    auto it = links_.find(std::make_pair(a, b));
+    if (it == links_.end())
+        fatal("no link ", nodeName(a), " -> ", nodeName(b));
+    return it->second.get();
+}
+
+std::vector<Link *>
+Network::allLinks()
+{
+    std::vector<Link *> out;
+    out.reserve(links_.size());
+    for (auto &kv : links_)
+        out.push_back(kv.second.get());
+    return out;
+}
+
+void
+Network::invalidateRoutes()
+{
+    routes_.assign(numNodes(), {});
+    routes_valid_.assign(numNodes(), false);
+}
+
+void
+Network::computeRoutesFrom(NodeId src) const
+{
+    const std::size_t n = numNodes();
+    std::vector<NodeId> prev(n, src);
+    std::vector<int> dist(n, -1);
+    std::deque<NodeId> frontier;
+    dist[src] = 0;
+    frontier.push_back(src);
+    while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop_front();
+        for (NodeId v : adjacency_[u]) {
+            if (dist[v] < 0) {
+                dist[v] = dist[u] + 1;
+                prev[v] = u;
+                frontier.push_back(v);
+            }
+        }
+    }
+    routes_[src].assign(n, {});
+    for (NodeId dst = 0; dst < n; ++dst) {
+        if (dist[dst] < 0)
+            continue;           // unreachable, flagged on use
+        std::vector<NodeId> rev;
+        for (NodeId v = dst; v != src; v = prev[v])
+            rev.push_back(v);
+        rev.push_back(src);
+        std::reverse(rev.begin(), rev.end());
+        routes_[src][dst] = std::move(rev);
+    }
+    routes_valid_[src] = true;
+}
+
+const std::vector<NodeId> &
+Network::path(NodeId src, NodeId dst) const
+{
+    if (src >= numNodes() || dst >= numNodes())
+        fatal("bad route endpoints ", src, " -> ", dst);
+    if (!routes_valid_[src])
+        computeRoutesFrom(src);
+    const auto &p = routes_[src][dst];
+    if (p.empty())
+        fatal("fabric node '", nodeName(dst),
+              "' unreachable from '", nodeName(src), "'");
+    return p;
+}
+
+unsigned
+Network::hopCount(NodeId src, NodeId dst) const
+{
+    if (src == dst)
+        return 0;
+    return static_cast<unsigned>(path(src, dst).size() - 1);
+}
+
+MessageResult
+Network::send(Tick when, NodeId src, NodeId dst, std::uint64_t bytes,
+              bool high_priority)
+{
+    ++messages;
+    MessageResult res;
+    if (src == dst) {
+        res.arrival = when;
+        return res;
+    }
+    const auto &p = path(src, dst);
+    Tick t = when;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        auto it = links_.find(std::make_pair(p[i], p[i + 1]));
+        Link *l = it->second.get();
+        t = l->transfer(t, bytes, high_priority);
+        res.energy_pj += static_cast<double>(bytes) *
+                         l->params().energy_pj_per_byte;
+        ++res.hops;
+    }
+    total_hops += res.hops;
+    res.arrival = t;
+    return res;
+}
+
+double
+Network::totalEnergyJoules() const
+{
+    double e = 0;
+    for (const auto &kv : links_)
+        e += kv.second->energyJoules();
+    return e;
+}
+
+} // namespace fabric
+} // namespace ehpsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The Infinity Fabric network: named nodes joined by Link pairs,
+ * with shortest-path routing.
+ *
+ * The "NoC" of MI300 spans multiple chips (paper Sec. IV.A): XCDs and
+ * CCDs attach to their IOD's data fabric, the four IODs connect over
+ * USR PHYs, HBM stacks hang off each IOD over the 2.5D interposer,
+ * and x16 links leave the package. A Network models all of these as
+ * one graph; messages traverse the minimum-hop path, paying each
+ * link's serialization + latency, and cut-through is approximated by
+ * charging serialization on every hop but overlapping propagation.
+ */
+
+#ifndef EHPSIM_FABRIC_NETWORK_HH
+#define EHPSIM_FABRIC_NETWORK_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/link.hh"
+
+namespace ehpsim
+{
+namespace fabric
+{
+
+using NodeId = unsigned;
+
+/** What a node represents; used for diagnostics and power mapping. */
+enum class NodeKind
+{
+    iod,
+    xcd,
+    ccd,
+    hbmStack,
+    ioPort,
+    device,     ///< external host, NIC, switch...
+};
+
+struct MessageResult
+{
+    Tick arrival = 0;
+    unsigned hops = 0;
+    double energy_pj = 0;
+};
+
+class Network : public SimObject
+{
+  public:
+    Network(SimObject *parent, const std::string &name);
+
+    /** Add a node; names must be unique. */
+    NodeId addNode(const std::string &name, NodeKind kind);
+
+    /** Connect two nodes with a pair of opposing links. */
+    void connect(NodeId a, NodeId b, const LinkParams &params);
+
+    std::size_t numNodes() const { return node_names_.size(); }
+
+    NodeId nodeByName(const std::string &name) const;
+
+    const std::string &nodeName(NodeId id) const;
+
+    NodeKind nodeKind(NodeId id) const { return node_kinds_[id]; }
+
+    /** The unidirectional link from @p a to @p b (fatal if absent). */
+    Link *link(NodeId a, NodeId b);
+
+    /** All links (both directions), for stats sweeps. */
+    std::vector<Link *> allLinks();
+
+    /** Minimum-hop path as a node sequence (fatal if unreachable). */
+    const std::vector<NodeId> &path(NodeId src, NodeId dst) const;
+
+    /** Hop count of the minimum path (0 when src == dst). */
+    unsigned hopCount(NodeId src, NodeId dst) const;
+
+    /**
+     * Send @p bytes from @p src to @p dst starting at @p when.
+     * Charges serialization+occupancy on every hop; propagation
+     * latencies accumulate.
+     */
+    MessageResult send(Tick when, NodeId src, NodeId dst,
+                       std::uint64_t bytes,
+                       bool high_priority = false);
+
+    /** Sum of transfer energy over all links, joules. */
+    double totalEnergyJoules() const;
+
+    /** @{ statistics */
+    stats::Scalar messages;
+    stats::Scalar total_hops;
+    /** @} */
+
+  private:
+    void invalidateRoutes();
+
+    void computeRoutesFrom(NodeId src) const;
+
+    std::vector<std::string> node_names_;
+    std::vector<NodeKind> node_kinds_;
+    std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+    std::vector<std::vector<NodeId>> adjacency_;
+
+    /** Route cache: routes_[src][dst] = node path. */
+    mutable std::vector<std::vector<std::vector<NodeId>>> routes_;
+    mutable std::vector<bool> routes_valid_;
+};
+
+} // namespace fabric
+} // namespace ehpsim
+
+#endif // EHPSIM_FABRIC_NETWORK_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Adapter exposing a MemDevice across the fabric.
+ *
+ * A RemoteMemDevice makes "memory behind the network" composable: an
+ * access issued at node @p src travels to @p dst (command packet, or
+ * payload for writes), performs the target access, and returns
+ * (payload for reads, ack for writes). This models, e.g., a CCD
+ * reaching HBM channels on a remote IOD over USR links, or a host
+ * CPU reaching a discrete GPU's HBM over PCIe.
+ */
+
+#ifndef EHPSIM_FABRIC_REMOTE_DEVICE_HH
+#define EHPSIM_FABRIC_REMOTE_DEVICE_HH
+
+#include "fabric/network.hh"
+#include "mem/mem_device.hh"
+
+namespace ehpsim
+{
+namespace fabric
+{
+
+class RemoteMemDevice : public mem::MemDevice
+{
+  public:
+    /** Command/ack packet overhead in bytes. */
+    static constexpr std::uint64_t controlBytes = 32;
+
+    RemoteMemDevice(SimObject *parent, const std::string &name,
+                    Network *net, NodeId src, NodeId dst,
+                    mem::MemDevice *target)
+        : mem::MemDevice(parent, name),
+          net_(net), src_(src), dst_(dst), target_(target)
+    {}
+
+    mem::AccessResult
+    access(Tick when, Addr addr, std::uint64_t bytes,
+           bool write) override
+    {
+        // Request: command packet, plus payload when writing.
+        const std::uint64_t req_bytes =
+            controlBytes + (write ? bytes : 0);
+        const auto req = net_->send(when, src_, dst_, req_bytes);
+        auto r = target_->access(req.arrival, addr, bytes, write);
+        // Response: payload when reading, ack when writing.
+        const std::uint64_t resp_bytes =
+            controlBytes + (write ? 0 : bytes);
+        const auto resp = net_->send(r.complete, dst_, src_,
+                                     resp_bytes);
+        r.complete = resp.arrival;
+        return r;
+    }
+
+    NodeId srcNode() const { return src_; }
+
+    NodeId dstNode() const { return dst_; }
+
+  private:
+    Network *net_;
+    NodeId src_;
+    NodeId dst_;
+    mem::MemDevice *target_;
+};
+
+} // namespace fabric
+} // namespace ehpsim
+
+#endif // EHPSIM_FABRIC_REMOTE_DEVICE_HH

@@ -1,0 +1,54 @@
+#include "geom/alignment.hh"
+
+namespace ehpsim
+{
+namespace geom
+{
+
+void
+IodTsvPlan::addBank(const InterfaceBank &bank)
+{
+    for (const auto &p : bank.pads()) {
+        if (!sites_.containsSite(p))
+            sites_.add(p);
+    }
+}
+
+void
+IodTsvPlan::addMirrorRedundancy()
+{
+    sites_ = sites_.withMirrorRedundancy(width_, height_);
+}
+
+TsvSiteSet
+IodTsvPlan::sitesWhenPlaced(Orient o) const
+{
+    Transform t(width_, height_, o);
+    return sites_.transformed(t);
+}
+
+AlignmentResult
+IodTsvPlan::checkStackAlignment(const ChipletFootprint &chiplet,
+                                Orient chiplet_orient, double offset_x,
+                                double offset_y,
+                                Orient iod_orient) const
+{
+    // Chiplet pads in IOD-instance coordinates. The chiplet is placed
+    // in the *package* frame; the IOD instance below is itself
+    // transformed, so the effective site set is the plan transformed
+    // by iod_orient.
+    Transform chip_t(chiplet.width(), chiplet.height(), chiplet_orient,
+                     offset_x, offset_y);
+    const auto pads = chip_t.apply(chiplet.allPads());
+    const TsvSiteSet sites = sitesWhenPlaced(iod_orient);
+
+    AlignmentResult res;
+    res.pads_checked = pads.size();
+    res.pads_aligned = sites.countAligned(pads);
+    res.aligned = res.pads_aligned == res.pads_checked &&
+                  res.pads_checked > 0;
+    return res;
+}
+
+} // namespace geom
+} // namespace ehpsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * 3D-stacking alignment checks (paper Fig. 9).
+ *
+ * An IodTsvPlan holds an IOD's signal TSV landing sites. The plan is
+ * built from base banks and may add mirror-redundant copies so that
+ * *unmirrored* compute chiplets align on both normal and mirrored IOD
+ * instances. checkStackAlignment() verifies that every bond pad of a
+ * placed chiplet lands on a TSV site of the (possibly transformed)
+ * IOD below.
+ */
+
+#ifndef EHPSIM_GEOM_ALIGNMENT_HH
+#define EHPSIM_GEOM_ALIGNMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "geom/footprint.hh"
+#include "geom/tsv_grid.hh"
+
+namespace ehpsim
+{
+namespace geom
+{
+
+/** Result of an alignment check. */
+struct AlignmentResult
+{
+    bool aligned = false;
+    std::size_t pads_checked = 0;
+    std::size_t pads_aligned = 0;
+};
+
+/** Signal-TSV plan of one IOD design. */
+class IodTsvPlan
+{
+  public:
+    /**
+     * @param iod_w IOD die width (mm).
+     * @param iod_h IOD die height (mm).
+     */
+    IodTsvPlan(double iod_w, double iod_h)
+        : width_(iod_w), height_(iod_h)
+    {}
+
+    double width() const { return width_; }
+
+    double height() const { return height_; }
+
+    /** Add a bank of TSV sites (IOD-local coordinates). */
+    void addBank(const InterfaceBank &bank);
+
+    /**
+     * Add the mirror-redundant copies of every bank added so far
+     * (the red-circled TSVs of Fig. 9).
+     */
+    void addMirrorRedundancy();
+
+    /** Total TSV site count, including redundant sites. */
+    std::size_t numSites() const { return sites_.size(); }
+
+    /** Sites the IOD presents when instantiated with orientation o. */
+    TsvSiteSet sitesWhenPlaced(Orient o) const;
+
+    /**
+     * Check a chiplet stacked on this IOD.
+     * @param chiplet The compute die (its pads, die-local).
+     * @param chiplet_orient Chiplet orientation on the IOD.
+     * @param offset_x,offset_y Chiplet origin in IOD coordinates.
+     * @param iod_orient How this IOD instance is placed.
+     */
+    AlignmentResult
+    checkStackAlignment(const ChipletFootprint &chiplet,
+                        Orient chiplet_orient, double offset_x,
+                        double offset_y, Orient iod_orient) const;
+
+  private:
+    double width_;
+    double height_;
+    TsvSiteSet sites_;
+};
+
+} // namespace geom
+} // namespace ehpsim
+
+#endif // EHPSIM_GEOM_ALIGNMENT_HH

@@ -1,0 +1,69 @@
+#include "geom/footprint.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace geom
+{
+
+std::vector<Point>
+InterfaceBank::pads() const
+{
+    PowerTsvGrid grid(region, pitch_mm);
+    return grid.sites();
+}
+
+std::size_t
+InterfaceBank::numPads() const
+{
+    PowerTsvGrid grid(region, pitch_mm);
+    return grid.numSites();
+}
+
+void
+ChipletFootprint::addBank(const InterfaceBank &bank)
+{
+    if (!outline().contains(bank.region))
+        fatal("interface bank '", bank.name, "' outside die '", name_,
+              "'");
+    banks_.push_back(bank);
+}
+
+const InterfaceBank *
+ChipletFootprint::findBank(const std::string &name) const
+{
+    for (const auto &b : banks_) {
+        if (b.name == name)
+            return &b;
+    }
+    return nullptr;
+}
+
+std::vector<Point>
+ChipletFootprint::allPads() const
+{
+    std::vector<Point> out;
+    for (const auto &b : banks_) {
+        auto pads = b.pads();
+        out.insert(out.end(), pads.begin(), pads.end());
+    }
+    return out;
+}
+
+Rect
+PlacedChiplet::placedOutline() const
+{
+    return transform.apply(footprint->outline());
+}
+
+std::vector<Point>
+PlacedChiplet::placedPads() const
+{
+    return transform.apply(footprint->allPads());
+}
+
+} // namespace geom
+} // namespace ehpsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * 2-D points and axis-aligned rectangles in millimetres.
+ *
+ * All package/floorplan geometry in ehpsim is expressed in mm with a
+ * small comparison tolerance, matching the granularity of published
+ * die dimensions.
+ */
+
+#ifndef EHPSIM_GEOM_RECT_HH
+#define EHPSIM_GEOM_RECT_HH
+
+#include <algorithm>
+#include <cmath>
+
+namespace ehpsim
+{
+namespace geom
+{
+
+/** Comparison tolerance in mm (1 micron). */
+constexpr double tolMm = 1e-3;
+
+/** True when two coordinates are equal within tolerance. */
+inline bool
+nearEq(double a, double b)
+{
+    return std::fabs(a - b) <= tolMm;
+}
+
+struct Point
+{
+    double x = 0;
+    double y = 0;
+
+    bool
+    operator==(const Point &o) const
+    {
+        return nearEq(x, o.x) && nearEq(y, o.y);
+    }
+};
+
+/** Axis-aligned rectangle defined by its lower-left corner and size. */
+struct Rect
+{
+    double x = 0;       ///< lower-left x (mm)
+    double y = 0;       ///< lower-left y (mm)
+    double w = 0;       ///< width (mm)
+    double h = 0;       ///< height (mm)
+
+    double area() const { return w * h; }
+
+    double right() const { return x + w; }
+
+    double top() const { return y + h; }
+
+    Point center() const { return {x + w / 2, y + h / 2}; }
+
+    bool
+    contains(const Point &p) const
+    {
+        return p.x >= x - tolMm && p.x <= right() + tolMm &&
+               p.y >= y - tolMm && p.y <= top() + tolMm;
+    }
+
+    bool
+    contains(const Rect &o) const
+    {
+        return o.x >= x - tolMm && o.right() <= right() + tolMm &&
+               o.y >= y - tolMm && o.top() <= top() + tolMm;
+    }
+
+    bool
+    intersects(const Rect &o) const
+    {
+        return o.x < right() - tolMm && o.right() > x + tolMm &&
+               o.y < top() - tolMm && o.top() > y + tolMm;
+    }
+
+    /** The overlapping region (zero-size when disjoint). */
+    Rect
+    intersection(const Rect &o) const
+    {
+        const double nx = std::max(x, o.x);
+        const double ny = std::max(y, o.y);
+        const double nr = std::min(right(), o.right());
+        const double nt = std::min(top(), o.top());
+        if (nr <= nx || nt <= ny)
+            return {nx, ny, 0, 0};
+        return {nx, ny, nr - nx, nt - ny};
+    }
+
+    /** Smallest rectangle containing both. */
+    Rect
+    bbox(const Rect &o) const
+    {
+        const double nx = std::min(x, o.x);
+        const double ny = std::min(y, o.y);
+        const double nr = std::max(right(), o.right());
+        const double nt = std::max(top(), o.top());
+        return {nx, ny, nr - nx, nt - ny};
+    }
+
+    /** Rectangle translated by (dx, dy). */
+    Rect
+    translated(double dx, double dy) const
+    {
+        return {x + dx, y + dy, w, h};
+    }
+};
+
+} // namespace geom
+} // namespace ehpsim
+
+#endif // EHPSIM_GEOM_RECT_HH

@@ -1,0 +1,111 @@
+#include "gpu/cdna.hh"
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace gpu
+{
+
+const char *
+cdnaGenName(CdnaGen g)
+{
+    switch (g) {
+      case CdnaGen::cdna2:
+        return "CDNA2";
+      case CdnaGen::cdna3:
+        return "CDNA3";
+    }
+    panic("bad CDNA generation");
+}
+
+const char *
+dataTypeName(DataType dt)
+{
+    switch (dt) {
+      case DataType::fp64:
+        return "FP64";
+      case DataType::fp32:
+        return "FP32";
+      case DataType::tf32:
+        return "TF32";
+      case DataType::fp16:
+        return "FP16";
+      case DataType::bf16:
+        return "BF16";
+      case DataType::fp8:
+        return "FP8";
+      case DataType::int8:
+        return "INT8";
+    }
+    panic("bad data type");
+}
+
+unsigned
+dataTypeBytes(DataType dt)
+{
+    switch (dt) {
+      case DataType::fp64:
+        return 8;
+      case DataType::fp32:
+      case DataType::tf32:
+        return 4;
+      case DataType::fp16:
+      case DataType::bf16:
+        return 2;
+      case DataType::fp8:
+      case DataType::int8:
+        return 1;
+    }
+    panic("bad data type");
+}
+
+std::uint64_t
+opsPerClockPerCu(CdnaGen gen, Pipe pipe, DataType dt, bool sparse)
+{
+    // Paper Table 1 (ops/clock/CU). "n/a" entries return 0.
+    std::uint64_t dense = 0;
+    if (pipe == Pipe::vector) {
+        switch (dt) {
+          case DataType::fp64:
+            dense = 128;
+            break;
+          case DataType::fp32:
+            dense = gen == CdnaGen::cdna2 ? 128 : 256;
+            break;
+          default:
+            dense = 0;      // vector pipes serve FP64/FP32 only
+            break;
+        }
+        return dense;       // sparsity is a Matrix Core feature
+    }
+
+    switch (dt) {
+      case DataType::fp64:
+      case DataType::fp32:
+        dense = 256;
+        break;
+      case DataType::tf32:
+        dense = gen == CdnaGen::cdna2 ? 0 : 1024;
+        break;
+      case DataType::fp16:
+      case DataType::bf16:
+        dense = gen == CdnaGen::cdna2 ? 1024 : 2048;
+        break;
+      case DataType::fp8:
+        dense = gen == CdnaGen::cdna2 ? 0 : 4096;
+        break;
+      case DataType::int8:
+        dense = gen == CdnaGen::cdna2 ? 1024 : 4096;
+        break;
+    }
+    if (sparse && gen == CdnaGen::cdna3 && dense >= 1024) {
+        // 4:2 structured sparsity doubles matrix throughput
+        // (8192 ops/clk/CU for FP8 and INT8).
+        return dense * 2;
+    }
+    return dense;
+}
+
+} // namespace gpu
+} // namespace ehpsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CDNA architecture generations and per-CU throughput rates.
+ *
+ * Encodes the paper's Table 1: peak operations-per-clock-per-CU for
+ * the CDNA 2 CUs in MI250X versus the CDNA 3 CUs in MI300A/X, for
+ * vector and Matrix Core pipelines across data types, including
+ * CDNA 3's FP8 support and 4:2 structured sparsity (which doubles
+ * Matrix FP8/INT8 peak to 8192 ops/clk/CU).
+ */
+
+#ifndef EHPSIM_GPU_CDNA_HH
+#define EHPSIM_GPU_CDNA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ehpsim
+{
+namespace gpu
+{
+
+enum class CdnaGen
+{
+    cdna2,  ///< MI250X
+    cdna3,  ///< MI300A / MI300X
+};
+
+const char *cdnaGenName(CdnaGen g);
+
+enum class DataType
+{
+    fp64,
+    fp32,
+    tf32,
+    fp16,
+    bf16,
+    fp8,
+    int8,
+};
+
+const char *dataTypeName(DataType dt);
+
+/** Element size in bytes (tf32 is stored as 4 bytes). */
+unsigned dataTypeBytes(DataType dt);
+
+/** Which execution pipe a kernel's math uses. */
+enum class Pipe
+{
+    vector,
+    matrix,
+};
+
+/**
+ * Peak operations per clock per CU (paper Table 1).
+ * @param sparse 4:2 structured sparsity (CDNA 3 matrix FP8/INT8/FP16/
+ *        BF16; the paper highlights 8192 for FP8/INT8).
+ * @return 0 when the generation does not support the combination
+ *         (e.g., TF32 or FP8 on CDNA 2).
+ */
+std::uint64_t opsPerClockPerCu(CdnaGen gen, Pipe pipe, DataType dt,
+                               bool sparse = false);
+
+} // namespace gpu
+} // namespace ehpsim
+
+#endif // EHPSIM_GPU_CDNA_HH

@@ -1,0 +1,129 @@
+#include "gpu/compute_unit.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace gpu
+{
+
+CuParams
+cdna3CuParams()
+{
+    CuParams p;
+    p.gen = CdnaGen::cdna3;
+    p.clock_ghz = 1.7;
+    p.l1.size_bytes = 32 * 1024;
+    p.l1.assoc = 8;
+    // CDNA 3 widened the L1 line to 128 B and doubled the cache
+    // bandwidth relative to CDNA 2 (paper Sec. IV.B).
+    p.l1.line_bytes = 128;
+    p.l1.latency_cycles = 16;
+    p.l1.clock_ghz = p.clock_ghz;
+    p.l1.bytes_per_cycle = 128;
+    return p;
+}
+
+CuParams
+cdna2CuParams()
+{
+    CuParams p;
+    p.gen = CdnaGen::cdna2;
+    p.clock_ghz = 1.7;
+    p.l1.size_bytes = 16 * 1024;
+    p.l1.assoc = 8;
+    p.l1.line_bytes = 64;
+    p.l1.latency_cycles = 16;
+    p.l1.clock_ghz = p.clock_ghz;
+    p.l1.bytes_per_cycle = 64;
+    return p;
+}
+
+ComputeUnit::ComputeUnit(SimObject *parent, const std::string &name,
+                         const CuParams &params, mem::MemDevice *l2,
+                         mem::Cache *icache)
+    : SimObject(parent, name),
+      workgroups(this, "workgroups", "workgroups executed"),
+      total_flops(this, "total_flops", "math operations executed"),
+      compute_ticks(this, "compute_ticks",
+                    "ticks spent compute-bound"),
+      memory_ticks(this, "memory_ticks", "ticks spent memory-bound"),
+      params_(params),
+      icache_(icache),
+      period_(periodFromGHz(params.clock_ghz))
+{
+    l1_ = std::make_unique<mem::Cache>(this, "l1d", params.l1, l2);
+}
+
+double
+ComputeUnit::peakFlops(Pipe pipe, DataType dt, bool sparse) const
+{
+    const std::uint64_t rate =
+        opsPerClockPerCu(params_.gen, pipe, dt, sparse);
+    return static_cast<double>(rate) * params_.clock_ghz * 1e9;
+}
+
+Tick
+ComputeUnit::runWorkgroup(Tick start, const WorkgroupWork &work)
+{
+    const Tick begin = std::max(start, busy_until_);
+    ++workgroups;
+    total_flops += static_cast<double>(work.flops);
+
+    // Compute time from the Table-1 rate for this pipe/type.
+    const std::uint64_t rate =
+        opsPerClockPerCu(params_.gen, work.pipe, work.dtype,
+                         work.sparse);
+    if (rate == 0 && work.flops > 0) {
+        fatal(cdnaGenName(params_.gen), " cannot execute ",
+              dataTypeName(work.dtype), " on the ",
+              work.pipe == Pipe::matrix ? "matrix" : "vector",
+              " pipe");
+    }
+    Tick compute = 0;
+    if (work.flops > 0)
+        compute = ((work.flops + rate - 1) / rate) * period_;
+
+    // LDS traffic at LDS bandwidth.
+    const Tick lds = serializationTicks(work.lds_bytes,
+                                        params_.lds_bandwidth);
+
+    // Instruction fetch through the shared instruction cache. The
+    // common case is that neighbouring CUs run the same kernel, so
+    // these mostly hit (paper Sec. IV.B).
+    Tick inst_done = begin;
+    if (icache_ && work.inst_bytes > 0) {
+        inst_done =
+            icache_->access(begin, 0, work.inst_bytes, false).complete;
+    }
+
+    // Global memory traffic through L1 (and L2/fabric below).
+    Tick mem_done = begin;
+    if (work.bytes_read > 0) {
+        mem_done = l1_->access(begin, work.read_base, work.bytes_read,
+                               false).complete;
+    }
+    if (work.bytes_written > 0) {
+        mem_done = std::max(
+            mem_done, l1_->access(begin, work.write_base,
+                                  work.bytes_written, true).complete);
+    }
+
+    const Tick mem_time =
+        std::max(mem_done, inst_done) > begin
+            ? std::max(mem_done, inst_done) - begin
+            : 0;
+    const Tick busy = std::max({compute + lds, mem_time, Tick(1)});
+    if (compute + lds >= mem_time)
+        compute_ticks += static_cast<double>(busy);
+    else
+        memory_ticks += static_cast<double>(busy);
+
+    busy_until_ = begin + busy;
+    return busy_until_;
+}
+
+} // namespace gpu
+} // namespace ehpsim

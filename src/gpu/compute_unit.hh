@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The CDNA compute unit (paper Sec. IV.B).
+ *
+ * Each CU is a highly threaded processor with scalar/vector/matrix
+ * execution units, a 32 KB L1 data cache with 128 B lines, and a
+ * 64 KB Local Data Share. Pairs of CUs share a 64 KB instruction
+ * cache. The model executes workgroup-granular work items: compute
+ * time comes from the Table-1 rates, memory time from walking the
+ * workgroup's footprint through L1 (then L2/fabric below), LDS and
+ * instruction traffic are charged locally, and the workgroup
+ * completes at max(compute, memory).
+ */
+
+#ifndef EHPSIM_GPU_COMPUTE_UNIT_HH
+#define EHPSIM_GPU_COMPUTE_UNIT_HH
+
+#include <memory>
+
+#include "gpu/cdna.hh"
+#include "mem/cache.hh"
+#include "sim/units.hh"
+
+namespace ehpsim
+{
+namespace gpu
+{
+
+/** Static CU configuration. */
+struct CuParams
+{
+    CdnaGen gen = CdnaGen::cdna3;
+    double clock_ghz = 1.7;
+    std::uint64_t lds_bytes = 64 * 1024;
+    BytesPerSecond lds_bandwidth = tbps(2.6);   ///< per CU, generous
+    mem::CacheParams l1;    ///< 32 KB, 128 B lines (CDNA 3 default)
+};
+
+/** CDNA3-flavoured CU defaults. */
+CuParams cdna3CuParams();
+
+/** CDNA2-flavoured CU defaults (64 B lines, half L1 bandwidth). */
+CuParams cdna2CuParams();
+
+/** One workgroup's execution requirements. */
+struct WorkgroupWork
+{
+    std::uint64_t flops = 0;        ///< math operations
+    DataType dtype = DataType::fp32;
+    Pipe pipe = Pipe::vector;
+    bool sparse = false;            ///< 4:2 sparsity (matrix only)
+    std::uint64_t bytes_read = 0;   ///< global memory reads
+    std::uint64_t bytes_written = 0;
+    std::uint64_t lds_bytes = 0;    ///< LDS traffic
+    std::uint64_t inst_bytes = 512; ///< icache footprint
+    Addr read_base = 0;             ///< workgroup-relative addressing
+    Addr write_base = 0;
+};
+
+class ComputeUnit : public SimObject
+{
+  public:
+    /**
+     * @param l2 The XCD's shared L2 (next level below this CU's L1).
+     * @param icache Instruction cache shared with the paired CU.
+     */
+    ComputeUnit(SimObject *parent, const std::string &name,
+                const CuParams &params, mem::MemDevice *l2,
+                mem::Cache *icache);
+
+    const CuParams &params() const { return params_; }
+
+    mem::Cache *l1() { return l1_.get(); }
+
+    /** Tick at which this CU finishes its last accepted workgroup. */
+    Tick busyUntil() const { return busy_until_; }
+
+    /** Peak flops/s for a pipe/type on this CU. */
+    double peakFlops(Pipe pipe, DataType dt, bool sparse = false) const;
+
+    /**
+     * Execute one workgroup, starting no earlier than @p start and
+     * after the CU's previous work. @return completion tick.
+     */
+    Tick runWorkgroup(Tick start, const WorkgroupWork &work);
+
+    /** @{ statistics */
+    stats::Scalar workgroups;
+    stats::Scalar total_flops;
+    stats::Scalar compute_ticks;
+    stats::Scalar memory_ticks;
+    /** @} */
+
+  private:
+    CuParams params_;
+    std::unique_ptr<mem::Cache> l1_;
+    mem::Cache *icache_;
+    Tick busy_until_ = 0;
+    Tick period_;
+};
+
+} // namespace gpu
+} // namespace ehpsim
+
+#endif // EHPSIM_GPU_COMPUTE_UNIT_HH

@@ -1,0 +1,44 @@
+#include "hsa/queue.hh"
+
+namespace ehpsim
+{
+namespace hsa
+{
+
+UserQueue::UserQueue(SimObject *parent, const std::string &name,
+                     std::size_t capacity)
+    : SimObject(parent, name),
+      packets_submitted(this, "packets_submitted",
+                        "AQL packets accepted"),
+      packets_dropped(this, "packets_dropped",
+                      "submissions rejected on a full queue"),
+      ring_(capacity)
+{
+}
+
+bool
+UserQueue::submit(const AqlPacket &pkt)
+{
+    if (full()) {
+        ++packets_dropped;
+        return false;
+    }
+    ring_[write_index_ % ring_.size()] = pkt;
+    ++write_index_;
+    doorbell_ = write_index_;
+    ++packets_submitted;
+    return true;
+}
+
+std::optional<AqlPacket>
+UserQueue::pop()
+{
+    if (empty())
+        return std::nullopt;
+    AqlPacket pkt = ring_[read_index_ % ring_.size()];
+    ++read_index_;
+    return pkt;
+}
+
+} // namespace hsa
+} // namespace ehpsim

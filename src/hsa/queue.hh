@@ -1,0 +1,74 @@
+/**
+ * @file
+ * User-mode HSA queues (paper Sec. VI.A).
+ *
+ * The kernel-launch interface is a ring of AQL packets in user-mode
+ * visible memory plus a doorbell. ehpsim models the ring indices and
+ * capacity faithfully (software can overrun a full queue and must
+ * check) while the packet payloads are C++ structs.
+ */
+
+#ifndef EHPSIM_HSA_QUEUE_HH
+#define EHPSIM_HSA_QUEUE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hsa/aql.hh"
+#include "sim/sim_object.hh"
+
+namespace ehpsim
+{
+namespace hsa
+{
+
+class UserQueue : public SimObject
+{
+  public:
+    UserQueue(SimObject *parent, const std::string &name,
+              std::size_t capacity = 256);
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    std::size_t pending() const
+    {
+        return static_cast<std::size_t>(write_index_ - read_index_);
+    }
+
+    bool full() const { return pending() == ring_.size(); }
+
+    bool empty() const { return pending() == 0; }
+
+    std::uint64_t writeIndex() const { return write_index_; }
+
+    std::uint64_t readIndex() const { return read_index_; }
+
+    /**
+     * Software enqueues a packet and rings the doorbell.
+     * @return false when the queue is full (packet dropped).
+     */
+    bool submit(const AqlPacket &pkt);
+
+    /** Hardware (the ACEs) reads the next packet. */
+    std::optional<AqlPacket> pop();
+
+    /** Doorbell value: last write index signalled to hardware. */
+    std::uint64_t doorbell() const { return doorbell_; }
+
+    /** @{ statistics */
+    stats::Scalar packets_submitted;
+    stats::Scalar packets_dropped;
+    /** @} */
+
+  private:
+    std::vector<AqlPacket> ring_;
+    std::uint64_t write_index_ = 0;
+    std::uint64_t read_index_ = 0;
+    std::uint64_t doorbell_ = 0;
+};
+
+} // namespace hsa
+} // namespace ehpsim
+
+#endif // EHPSIM_HSA_QUEUE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The CPU/GPU dispatch shim (paper Sec. VI.B, last paragraph).
+ *
+ * With unified memory, generic library calls (BLAS-style) can be
+ * routed to either the CPU cores or the GPU CUs by a thin shim using
+ * simple heuristics such as problem size — no explicit refactoring
+ * or data movement. LibraryShim models that decision: given a
+ * problem's flops and bytes it predicts CPU and GPU execution time
+ * from peak rates and picks the faster side (with a configurable
+ * launch-overhead penalty for the GPU path).
+ */
+
+#ifndef EHPSIM_HSA_SHIM_HH
+#define EHPSIM_HSA_SHIM_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+namespace hsa
+{
+
+/** Where the shim decided to run a call. */
+enum class ShimTarget
+{
+    cpu,
+    gpu,
+};
+
+struct ShimDecision
+{
+    ShimTarget target = ShimTarget::cpu;
+    double cpu_time_s = 0;
+    double gpu_time_s = 0;
+};
+
+class LibraryShim
+{
+  public:
+    /**
+     * @param cpu_flops Peak CPU flops/s available to the caller.
+     * @param cpu_bw CPU-visible memory bandwidth (bytes/s).
+     * @param gpu_flops Peak GPU flops/s.
+     * @param gpu_bw GPU-visible memory bandwidth (bytes/s).
+     * @param gpu_launch_overhead_s Kernel-launch cost.
+     */
+    LibraryShim(double cpu_flops, double cpu_bw, double gpu_flops,
+                double gpu_bw, double gpu_launch_overhead_s = 5e-6)
+        : cpu_flops_(cpu_flops), cpu_bw_(cpu_bw),
+          gpu_flops_(gpu_flops), gpu_bw_(gpu_bw),
+          launch_s_(gpu_launch_overhead_s)
+    {}
+
+    /** Roofline time estimate on either side, then pick the faster. */
+    ShimDecision
+    decide(std::uint64_t flops, std::uint64_t bytes) const
+    {
+        ShimDecision d;
+        d.cpu_time_s = rooflineTime(flops, bytes, cpu_flops_, cpu_bw_);
+        d.gpu_time_s =
+            launch_s_ + rooflineTime(flops, bytes, gpu_flops_, gpu_bw_);
+        d.target = d.gpu_time_s < d.cpu_time_s ? ShimTarget::gpu
+                                               : ShimTarget::cpu;
+        return d;
+    }
+
+    /**
+     * Smallest problem (in flops, at arithmetic intensity
+     * @p flops_per_byte) for which the shim offloads to the GPU.
+     */
+    std::uint64_t
+    crossoverFlops(double flops_per_byte) const
+    {
+        std::uint64_t lo = 1, hi = 1ull << 62;
+        while (lo < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            const auto bytes = static_cast<std::uint64_t>(
+                static_cast<double>(mid) / flops_per_byte);
+            if (decide(mid, bytes).target == ShimTarget::gpu)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
+    }
+
+  private:
+    static double
+    rooflineTime(std::uint64_t flops, std::uint64_t bytes,
+                 double peak_flops, double peak_bw)
+    {
+        const double tc = peak_flops > 0
+                              ? static_cast<double>(flops) / peak_flops
+                              : 0.0;
+        const double tm = peak_bw > 0
+                              ? static_cast<double>(bytes) / peak_bw
+                              : 0.0;
+        return tc > tm ? tc : tm;
+    }
+
+    double cpu_flops_;
+    double cpu_bw_;
+    double gpu_flops_;
+    double gpu_bw_;
+    double launch_s_;
+};
+
+} // namespace hsa
+} // namespace ehpsim
+
+#endif // EHPSIM_HSA_SHIM_HH

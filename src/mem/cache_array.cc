@@ -1,0 +1,245 @@
+#include "mem/cache_array.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+CacheArray::CacheArray(std::uint64_t size_bytes, unsigned assoc,
+                       unsigned line_bytes, ReplPolicy policy,
+                       std::uint64_t seed)
+    : size_bytes_(size_bytes),
+      assoc_(assoc),
+      line_bytes_(line_bytes),
+      policy_(policy),
+      rng_(seed)
+{
+    if (assoc == 0 || line_bytes == 0 || size_bytes == 0)
+        fatal("cache geometry must be nonzero");
+    if (!isPow2(line_bytes))
+        fatal("cache line size must be a power of two");
+    if (size_bytes % (static_cast<std::uint64_t>(assoc) * line_bytes))
+        fatal("cache size not divisible by assoc * line size");
+    const std::uint64_t sets =
+        size_bytes / (static_cast<std::uint64_t>(assoc) * line_bytes);
+    if (!isPow2(sets))
+        fatal("cache set count must be a power of two");
+    num_sets_ = static_cast<unsigned>(sets);
+    line_mask_ = line_bytes_ - 1;
+    lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+    plru_bits_.assign(num_sets_, 0);
+}
+
+unsigned
+CacheArray::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / line_bytes_) % num_sets_);
+}
+
+std::optional<unsigned>
+CacheArray::lookup(Addr addr)
+{
+    const Addr tag = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        CacheLine &l =
+            lines_[static_cast<std::size_t>(set) * assoc_ + way];
+        if (l.valid && l.tag == tag) {
+            touch(l);
+            if (policy_ == ReplPolicy::plru) {
+                // Mark the path to this way as recently used.
+                unsigned node = 1;
+                unsigned lo = 0, hi = assoc_;
+                while (hi - lo > 1) {
+                    const unsigned mid = (lo + hi) / 2;
+                    if (way < mid) {
+                        plru_bits_[set] |= (1u << node);
+                        node = node * 2;
+                        hi = mid;
+                    } else {
+                        plru_bits_[set] &= ~(1u << node);
+                        node = node * 2 + 1;
+                        lo = mid;
+                    }
+                }
+            }
+            return way;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+CacheArray::peek(Addr addr) const
+{
+    const Addr tag = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        const CacheLine &l =
+            lines_[static_cast<std::size_t>(set) * assoc_ + way];
+        if (l.valid && l.tag == tag)
+            return way;
+    }
+    return std::nullopt;
+}
+
+CacheLine &
+CacheArray::line(Addr addr, unsigned way)
+{
+    const unsigned set = setIndex(addr);
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+const CacheLine &
+CacheArray::line(Addr addr, unsigned way) const
+{
+    const unsigned set = setIndex(addr);
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+void
+CacheArray::touch(CacheLine &line)
+{
+    line.last_use = ++use_counter_;
+}
+
+unsigned
+CacheArray::victimWay(unsigned set)
+{
+    CacheLine *base = &lines_[static_cast<std::size_t>(set) * assoc_];
+    // Prefer an invalid way.
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (!base[way].valid)
+            return way;
+    }
+    switch (policy_) {
+      case ReplPolicy::lru: {
+        unsigned victim = 0;
+        for (unsigned way = 1; way < assoc_; ++way) {
+            if (base[way].last_use < base[victim].last_use)
+                victim = way;
+        }
+        return victim;
+      }
+      case ReplPolicy::plru: {
+        // Walk the tree away from recently-used halves.
+        unsigned node = 1;
+        unsigned lo = 0, hi = assoc_;
+        while (hi - lo > 1) {
+            const unsigned mid = (lo + hi) / 2;
+            const bool left_recent = plru_bits_[set] & (1u << node);
+            if (left_recent) {
+                node = node * 2 + 1;
+                lo = mid;
+            } else {
+                node = node * 2;
+                hi = mid;
+            }
+        }
+        return lo;
+      }
+      case ReplPolicy::random:
+        return static_cast<unsigned>(rng_.nextBounded(assoc_));
+    }
+    panic("bad replacement policy");
+}
+
+std::optional<CacheLine>
+CacheArray::insert(Addr addr, bool dirty, bool prefetched)
+{
+    const Addr tag = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+
+    if (auto way = lookup(addr)) {
+        CacheLine &l = line(addr, *way);
+        l.dirty = l.dirty || dirty;
+        l.prefetched = l.prefetched && prefetched;
+        return std::nullopt;
+    }
+
+    const unsigned way = victimWay(set);
+    CacheLine &l = lines_[static_cast<std::size_t>(set) * assoc_ + way];
+    std::optional<CacheLine> victim;
+    if (l.valid)
+        victim = l;
+    l.tag = tag;
+    l.valid = true;
+    l.dirty = dirty;
+    l.state = 0;
+    l.prefetched = prefetched;
+    touch(l);
+    return victim;
+}
+
+std::optional<CacheLine>
+CacheArray::invalidate(Addr addr)
+{
+    if (auto way = peek(addr)) {
+        CacheLine &l = line(addr, *way);
+        CacheLine old = l;
+        l.valid = false;
+        l.dirty = false;
+        return old;
+    }
+    return std::nullopt;
+}
+
+std::vector<CacheLine>
+CacheArray::flushAll()
+{
+    std::vector<CacheLine> dirty;
+    for (auto &l : lines_) {
+        if (l.valid && l.dirty)
+            dirty.push_back(l);
+        l.valid = false;
+        l.dirty = false;
+    }
+    return dirty;
+}
+
+std::uint64_t
+CacheArray::numValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_) {
+        if (l.valid)
+            ++n;
+    }
+    return n;
+}
+
+bool
+CacheArray::tagsUnique() const
+{
+    for (unsigned set = 0; set < num_sets_; ++set) {
+        const CacheLine *base =
+            &lines_[static_cast<std::size_t>(set) * assoc_];
+        for (unsigned i = 0; i < assoc_; ++i) {
+            if (!base[i].valid)
+                continue;
+            for (unsigned j = i + 1; j < assoc_; ++j) {
+                if (base[j].valid && base[j].tag == base[i].tag)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace mem
+} // namespace ehpsim

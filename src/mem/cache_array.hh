@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A generic set-associative tag array with pluggable replacement.
+ *
+ * CacheArray is purely structural (tags + per-line metadata); timing
+ * and statistics live in the wrapping cache models. It underpins the
+ * GPU L1/L2, CPU L1/L2/L3, and the memory-side Infinity Cache.
+ */
+
+#ifndef EHPSIM_MEM_CACHE_ARRAY_HH
+#define EHPSIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+/** Replacement policy selection. */
+enum class ReplPolicy
+{
+    lru,        ///< true LRU via access timestamps
+    plru,       ///< tree pseudo-LRU
+    random,     ///< uniform random victim
+};
+
+/** Per-line metadata. */
+struct CacheLine
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint8_t state = 0;     ///< coherence state (module-defined)
+    std::uint64_t last_use = 0; ///< LRU timestamp
+    bool prefetched = false;    ///< filled by a prefetcher
+};
+
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param assoc Ways per set.
+     * @param line_bytes Cache line size.
+     * @param policy Replacement policy.
+     * @param seed RNG seed (random policy only).
+     */
+    CacheArray(std::uint64_t size_bytes, unsigned assoc,
+               unsigned line_bytes, ReplPolicy policy = ReplPolicy::lru,
+               std::uint64_t seed = 1);
+
+    std::uint64_t sizeBytes() const { return size_bytes_; }
+
+    unsigned assoc() const { return assoc_; }
+
+    unsigned lineBytes() const { return line_bytes_; }
+
+    unsigned numSets() const { return num_sets_; }
+
+    /** Line-aligned base address of @p addr. */
+    Addr lineAlign(Addr addr) const { return addr & ~line_mask_; }
+
+    /** Set index of @p addr. */
+    unsigned setIndex(Addr addr) const;
+
+    /**
+     * Look up @p addr; on hit returns the way and updates recency.
+     */
+    std::optional<unsigned> lookup(Addr addr);
+
+    /** Look up without updating replacement state. */
+    std::optional<unsigned> peek(Addr addr) const;
+
+    /** Access a line found by lookup()/insert(). */
+    CacheLine &line(Addr addr, unsigned way);
+
+    const CacheLine &line(Addr addr, unsigned way) const;
+
+    /**
+     * Insert @p addr, evicting if needed.
+     * @return the victim line's previous contents when a valid dirty
+     *         or clean line was displaced (for writeback decisions).
+     */
+    std::optional<CacheLine> insert(Addr addr, bool dirty,
+                                    bool prefetched = false);
+
+    /** Invalidate @p addr if present; @return the old line. */
+    std::optional<CacheLine> invalidate(Addr addr);
+
+    /** Invalidate everything, returning dirty lines. */
+    std::vector<CacheLine> flushAll();
+
+    /** Number of currently valid lines. */
+    std::uint64_t numValid() const;
+
+    /** True if no set holds two valid lines with the same tag. */
+    bool tagsUnique() const;
+
+  private:
+    unsigned victimWay(unsigned set);
+
+    void touch(CacheLine &line);
+
+    std::uint64_t size_bytes_;
+    unsigned assoc_;
+    unsigned line_bytes_;
+    unsigned num_sets_;
+    Addr line_mask_;
+    ReplPolicy policy_;
+    Rng rng_;
+    std::uint64_t use_counter_ = 0;
+    std::vector<CacheLine> lines_;          ///< sets * assoc, row-major
+    std::vector<std::uint32_t> plru_bits_;  ///< per-set PLRU tree
+};
+
+} // namespace mem
+} // namespace ehpsim
+
+#endif // EHPSIM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,114 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace ehpsim
+{
+namespace mem
+{
+
+DramParams
+hbm3ChannelParams()
+{
+    DramParams p;
+    p.bandwidth = gbps(41.4);   // 5.3 TB/s over 128 channels
+    p.access_latency = 120'000;
+    p.num_banks = 16;
+    p.t_rc = 45'000;
+    p.row_bytes = 1024;
+    return p;
+}
+
+DramParams
+hbm2eChannelParams()
+{
+    DramParams p;
+    p.bandwidth = gbps(50.3);   // 3.2 TB/s over 64 channels
+    p.access_latency = 130'000;
+    p.num_banks = 16;
+    p.t_rc = 45'000;
+    p.row_bytes = 1024;
+    return p;
+}
+
+DramParams
+ddr5ChannelParams()
+{
+    DramParams p;
+    p.bandwidth = gbps(38.4);   // DDR5-4800 channel
+    p.access_latency = 90'000;
+    p.num_banks = 32;
+    p.t_rc = 46'000;
+    p.row_bytes = 8192;
+    return p;
+}
+
+DramChannel::DramChannel(SimObject *parent, const std::string &name,
+                         const DramParams &params)
+    : MemDevice(parent, name),
+      reads(this, "reads", "read requests"),
+      writes(this, "writes", "write requests"),
+      bytes_served(this, "bytes_served", "total bytes transferred"),
+      bank_conflicts(this, "bank_conflicts",
+                     "requests delayed by a busy bank"),
+      params_(params),
+      bus_(params.bandwidth / static_cast<double>(ticksPerSecond)),
+      bank_free_(params.num_banks, 0),
+      bank_open_(params.num_banks, false),
+      open_row_(params.num_banks, 0)
+{
+}
+
+AccessResult
+DramChannel::access(Tick when, Addr addr, std::uint64_t bytes,
+                    bool write)
+{
+    if (write)
+        ++writes;
+    else
+        ++reads;
+    bytes_served += static_cast<double>(bytes);
+    first_access_ = std::min(first_access_, when);
+
+    // Bank model with open-row awareness: a row hit proceeds
+    // immediately; activating a new row waits for the bank's
+    // row-cycle time from its previous activation.
+    const std::uint64_t row = addr / params_.row_bytes;
+    const unsigned bank =
+        static_cast<unsigned>(row % params_.num_banks);
+    Tick start = when;
+    const bool row_hit = bank_open_[bank] && open_row_[bank] == row;
+    if (!row_hit) {
+        if (bank_free_[bank] > start) {
+            ++bank_conflicts;
+            start = bank_free_[bank];
+        }
+        bank_free_[bank] = start + params_.t_rc;
+        bank_open_[bank] = true;
+        open_row_[bank] = row;
+    }
+
+    // The data bus serializes the payload.
+    const Tick bus_done = bus_.occupy(start, bytes);
+    const Tick complete = bus_done + params_.access_latency;
+    last_complete_ = std::max(last_complete_, complete);
+
+    AccessResult res;
+    res.complete = complete;
+    res.hit = true;
+    res.bytes_below = 0;
+    return res;
+}
+
+double
+DramChannel::achievedBandwidth(Tick now) const
+{
+    const Tick start = first_access_ == maxTick ? 0 : first_access_;
+    const Tick end = std::max(now, last_complete_);
+    if (end <= start)
+        return 0.0;
+    return bytes_served.value() / secondsFromTicks(end - start);
+}
+
+} // namespace mem
+} // namespace ehpsim

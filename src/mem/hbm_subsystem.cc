@@ -1,0 +1,112 @@
+#include "mem/hbm_subsystem.hh"
+
+#include <algorithm>
+
+namespace ehpsim
+{
+namespace mem
+{
+
+HbmSubsystem::HbmSubsystem(SimObject *parent, const std::string &name,
+                           const HbmSubsystemParams &params)
+    : MemDevice(parent, name),
+      accesses(this, "accesses", "requests routed"),
+      total_bytes(this, "total_bytes", "bytes routed"),
+      params_(params),
+      map_(params.num_stacks, params.channels_per_stack,
+           params.capacity_bytes, params.numa)
+{
+    const unsigned n = map_.numChannels();
+    channels_.reserve(n);
+    slices_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            this, "ch" + std::to_string(i), params.channel));
+        if (params.enable_infinity_cache) {
+            slices_.push_back(std::make_unique<InfinityCacheSlice>(
+                this, "mall" + std::to_string(i), params.cache,
+                channels_.back().get()));
+        }
+    }
+}
+
+AccessResult
+HbmSubsystem::access(Tick when, Addr addr, std::uint64_t bytes,
+                     bool write)
+{
+    ++accesses;
+    total_bytes += static_cast<double>(bytes);
+    first_access_ = std::min(first_access_, when);
+
+    // Split the request at stripe boundaries so each piece lands on
+    // one channel. For cache-line traffic (<= stripe) this is one
+    // piece; larger requests fan out across channels.
+    AccessResult res;
+    res.hit = true;
+    Tick complete = when;
+    Addr a = addr;
+    std::uint64_t remaining = bytes;
+    const std::uint64_t stripe = 256;
+    while (remaining > 0) {
+        const std::uint64_t in_stripe = stripe - (a % stripe);
+        const std::uint64_t chunk = std::min(remaining, in_stripe);
+        const ChannelLocation loc = map_.locate(a);
+        AccessResult r;
+        if (params_.enable_infinity_cache) {
+            r = slices_[loc.channel]->access(when, loc.local, chunk,
+                                             write);
+        } else {
+            r = channels_[loc.channel]->access(when, loc.local, chunk,
+                                               write);
+        }
+        res.hit = res.hit && r.hit;
+        res.bytes_below += r.bytes_below;
+        complete = std::max(complete, r.complete);
+        a += chunk;
+        remaining -= chunk;
+    }
+    res.complete = complete;
+    last_complete_ = std::max(last_complete_, complete);
+    return res;
+}
+
+BytesPerSecond
+HbmSubsystem::peakHbmBandwidth() const
+{
+    return params_.channel.bandwidth * map_.numChannels();
+}
+
+BytesPerSecond
+HbmSubsystem::peakCacheBandwidth() const
+{
+    if (!params_.enable_infinity_cache)
+        return peakHbmBandwidth();
+    return params_.cache.hit_bandwidth * map_.numChannels();
+}
+
+double
+HbmSubsystem::achievedBandwidth(Tick now) const
+{
+    const Tick start = first_access_ == maxTick ? 0 : first_access_;
+    const Tick end = std::max(now, last_complete_);
+    if (end <= start)
+        return 0.0;
+    return total_bytes.value() / secondsFromTicks(end - start);
+}
+
+double
+HbmSubsystem::cacheHitRate() const
+{
+    if (!params_.enable_infinity_cache)
+        return 0.0;
+    double h = 0, m = 0;
+    for (const auto &s : slices_) {
+        h += s->hits.value();
+        m += s->misses.value();
+    }
+    const double a = h + m;
+    return a > 0 ? h / a : 0.0;
+}
+
+} // namespace mem
+} // namespace ehpsim

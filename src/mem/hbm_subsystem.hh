@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The full in-package memory system: interleave map + per-channel
+ * Infinity Cache slice + HBM channel (paper Sec. IV.D).
+ *
+ * MI300A: 8 stacks x 16 channels = 128 channels, 128 GB, ~5.3 TB/s
+ * HBM peak and up to 17 TB/s from the Infinity Cache. The subsystem
+ * is itself a MemDevice: the fabric (or a test) throws addresses at
+ * it and the interleave map picks the slice.
+ */
+
+#ifndef EHPSIM_MEM_HBM_SUBSYSTEM_HH
+#define EHPSIM_MEM_HBM_SUBSYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/infinity_cache.hh"
+#include "mem/interleave.hh"
+#include "mem/mem_device.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+struct HbmSubsystemParams
+{
+    unsigned num_stacks = 8;
+    unsigned channels_per_stack = 16;
+    std::uint64_t capacity_bytes = 128ull * 1024 * 1024 * 1024;
+    NumaMode numa = NumaMode::nps1;
+    DramParams channel = hbm3ChannelParams();
+    InfinityCacheParams cache;          ///< per-channel slice
+    bool enable_infinity_cache = true;  ///< MI250X has none
+};
+
+class HbmSubsystem : public MemDevice
+{
+  public:
+    HbmSubsystem(SimObject *parent, const std::string &name,
+                 const HbmSubsystemParams &params);
+
+    AccessResult access(Tick when, Addr addr, std::uint64_t bytes,
+                        bool write) override;
+
+    const InterleaveMap &interleave() const { return map_; }
+
+    const HbmSubsystemParams &params() const { return params_; }
+
+    unsigned numChannels() const { return map_.numChannels(); }
+
+    DramChannel *channel(unsigned i) { return channels_[i].get(); }
+
+    InfinityCacheSlice *slice(unsigned i)
+    {
+        return params_.enable_infinity_cache ? slices_[i].get()
+                                             : nullptr;
+    }
+
+    /** Peak HBM bandwidth across all channels (bytes/s). */
+    BytesPerSecond peakHbmBandwidth() const;
+
+    /** Peak Infinity-Cache bandwidth across all slices (bytes/s). */
+    BytesPerSecond peakCacheBandwidth() const;
+
+    /** Aggregate achieved bandwidth since construction. */
+    double achievedBandwidth(Tick now) const;
+
+    /** Aggregate Infinity-Cache hit rate (0 when disabled). */
+    double cacheHitRate() const;
+
+    /** @{ statistics */
+    stats::Scalar accesses;
+    stats::Scalar total_bytes;
+    /** @} */
+
+  private:
+    HbmSubsystemParams params_;
+    InterleaveMap map_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    std::vector<std::unique_ptr<InfinityCacheSlice>> slices_;
+    Tick first_access_ = maxTick;
+    Tick last_complete_ = 0;
+};
+
+} // namespace mem
+} // namespace ehpsim
+
+#endif // EHPSIM_MEM_HBM_SUBSYSTEM_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory-side Infinity Cache slice (paper Sec. IV.D).
+ *
+ * Each of the 128 HBM channels pairs with a 2 MB slice. Because the
+ * cache is memory-side it is non-coherent (it never receives probes):
+ * every request to the channel flows through its slice, so the slice
+ * always holds the latest data. The slice adds a next-line hardware
+ * prefetcher and provides bandwidth amplification: hits are served at
+ * the cache's higher bandwidth (up to 17 TB/s aggregate vs 5.3 TB/s
+ * HBM).
+ */
+
+#ifndef EHPSIM_MEM_INFINITY_CACHE_HH
+#define EHPSIM_MEM_INFINITY_CACHE_HH
+
+#include "mem/cache_array.hh"
+#include "mem/mem_device.hh"
+#include "sim/units.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+struct InfinityCacheParams
+{
+    std::uint64_t size_bytes = 2 * 1024 * 1024;  ///< 2 MB per slice
+    unsigned assoc = 16;
+    unsigned line_bytes = 128;
+    Tick hit_latency = 25'000;              ///< ps
+    BytesPerSecond hit_bandwidth = gbps(132.8); ///< 17 TB/s / 128
+    unsigned prefetch_depth = 2;            ///< next-line prefetches
+};
+
+class InfinityCacheSlice : public MemDevice
+{
+  public:
+    InfinityCacheSlice(SimObject *parent, const std::string &name,
+                       const InfinityCacheParams &params,
+                       MemDevice *channel);
+
+    AccessResult access(Tick when, Addr addr, std::uint64_t bytes,
+                        bool write) override;
+
+    const InfinityCacheParams &params() const { return params_; }
+
+    const CacheArray &array() const { return array_; }
+
+    double
+    hitRate() const
+    {
+        const double a = hits.value() + misses.value();
+        return a > 0 ? hits.value() / a : 0.0;
+    }
+
+    /**
+     * Bandwidth amplification factor: bytes served to requestors per
+     * byte fetched from the HBM channel.
+     */
+    double amplification() const;
+
+    /** @{ statistics */
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar prefetch_issued;
+    stats::Scalar prefetch_hits;   ///< demand hits on prefetched lines
+    stats::Scalar writebacks;
+    stats::Scalar bytes_served;
+    stats::Scalar bytes_from_hbm;
+    /** @} */
+
+  private:
+    InfinityCacheParams params_;
+    CacheArray array_;
+    MemDevice *channel_;
+    OccupancyTracker port_;
+};
+
+} // namespace mem
+} // namespace ehpsim
+
+#endif // EHPSIM_MEM_INFINITY_CACHE_HH

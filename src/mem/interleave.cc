@@ -1,0 +1,147 @@
+#include "mem/interleave.hh"
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+InterleaveMap::InterleaveMap(unsigned num_stacks,
+                             unsigned channels_per_stack,
+                             std::uint64_t capacity_bytes, NumaMode mode,
+                             std::uint64_t page_bytes,
+                             std::uint64_t stripe_bytes)
+    : num_stacks_(num_stacks),
+      channels_per_stack_(channels_per_stack),
+      capacity_(capacity_bytes),
+      mode_(mode),
+      page_bytes_(page_bytes),
+      stripe_bytes_(stripe_bytes)
+{
+    if (!isPow2(num_stacks) || !isPow2(channels_per_stack))
+        fatal("stack and channel counts must be powers of two");
+    if (!isPow2(page_bytes) || !isPow2(stripe_bytes) ||
+        stripe_bytes * channels_per_stack > page_bytes) {
+        fatal("bad interleave granularities");
+    }
+    if (mode == NumaMode::nps4 && num_stacks % 4 != 0)
+        fatal("NPS4 requires a multiple of four stacks");
+    stacks_per_domain_ =
+        mode == NumaMode::nps4 ? num_stacks / 4 : num_stacks;
+    if (capacity_ % (page_bytes_ * num_stacks_) != 0)
+        fatal("capacity must be a whole number of interleave groups");
+}
+
+unsigned
+InterleaveMap::foldHash(std::uint64_t q, unsigned mask)
+{
+    // XOR-fold the group index down to log2(mask+1) bits. Any
+    // fold is legal: for a fixed q the stack assignment is a
+    // permutation of the in-group page offsets, so the overall
+    // address mapping stays bijective.
+    std::uint64_t h = q;
+    h ^= h >> 17;
+    h ^= h >> 9;
+    h ^= h >> 4;
+    return static_cast<unsigned>(h) & mask;
+}
+
+unsigned
+InterleaveMap::domainOf(Addr addr) const
+{
+    if (mode_ == NumaMode::nps1)
+        return 0;
+    const std::uint64_t domain_size = capacity_ / 4;
+    const unsigned d = static_cast<unsigned>(addr / domain_size);
+    if (d >= 4)
+        fatal("address 0x", std::hex, addr, " beyond capacity");
+    return d;
+}
+
+unsigned
+InterleaveMap::stackOf(Addr addr) const
+{
+    const unsigned domain = domainOf(addr);
+    const std::uint64_t domain_size = capacity_ / numDomains();
+    const Addr local_addr = addr % domain_size;
+    const std::uint64_t page = local_addr / page_bytes_;
+    const std::uint64_t q = page / stacks_per_domain_;
+    const unsigned r =
+        static_cast<unsigned>(page % stacks_per_domain_);
+    const unsigned spd_mask = stacks_per_domain_ - 1;
+    const unsigned stack_local = r ^ foldHash(q, spd_mask);
+    return domain * stacks_per_domain_ + stack_local;
+}
+
+ChannelLocation
+InterleaveMap::locate(Addr addr) const
+{
+    if (addr >= capacity_)
+        fatal("address 0x", std::hex, addr, " beyond capacity");
+    const unsigned domain = domainOf(addr);
+    const std::uint64_t domain_size = capacity_ / numDomains();
+    const Addr local_addr = addr % domain_size;
+    const std::uint64_t page = local_addr / page_bytes_;
+    const std::uint64_t offset = local_addr % page_bytes_;
+    const std::uint64_t q = page / stacks_per_domain_;
+    const unsigned r =
+        static_cast<unsigned>(page % stacks_per_domain_);
+    const unsigned spd_mask = stacks_per_domain_ - 1;
+    const unsigned stack_local = r ^ foldHash(q, spd_mask);
+    const unsigned stack = domain * stacks_per_domain_ + stack_local;
+
+    // Stripe the page across the stack's channels.
+    const std::uint64_t s = offset / stripe_bytes_;
+    const std::uint64_t rem = offset % stripe_bytes_;
+    const unsigned cis =
+        static_cast<unsigned>(s % channels_per_stack_);
+    const std::uint64_t page_share = page_bytes_ / channels_per_stack_;
+    const Addr local = q * page_share +
+                       (s / channels_per_stack_) * stripe_bytes_ + rem;
+
+    ChannelLocation loc;
+    loc.stack = stack;
+    loc.channel = stack * channels_per_stack_ + cis;
+    loc.local = local;
+    return loc;
+}
+
+Addr
+InterleaveMap::addressOf(unsigned channel, Addr local) const
+{
+    const unsigned stack = channel / channels_per_stack_;
+    const unsigned cis = channel % channels_per_stack_;
+    const unsigned domain = stack / stacks_per_domain_;
+    const unsigned stack_local = stack % stacks_per_domain_;
+
+    const std::uint64_t page_share = page_bytes_ / channels_per_stack_;
+    const std::uint64_t q = local / page_share;
+    const std::uint64_t within = local % page_share;
+    const std::uint64_t stripe_round = within / stripe_bytes_;
+    const std::uint64_t rem = within % stripe_bytes_;
+    const std::uint64_t s = stripe_round * channels_per_stack_ + cis;
+    const std::uint64_t offset = s * stripe_bytes_ + rem;
+
+    const unsigned spd_mask = stacks_per_domain_ - 1;
+    const unsigned r = stack_local ^ foldHash(q, spd_mask);
+    const std::uint64_t page = q * stacks_per_domain_ + r;
+
+    const std::uint64_t domain_size = capacity_ / numDomains();
+    return static_cast<Addr>(domain) * domain_size +
+           page * page_bytes_ + offset;
+}
+
+} // namespace mem
+} // namespace ehpsim

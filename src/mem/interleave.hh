@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Physical-address interleaving across HBM stacks and channels.
+ *
+ * Paper Sec. IV.D: "Every 4KB of sequential physical addresses map to
+ * the same HBM stack before moving on to another HBM stack chosen
+ * based on a physical address hashing scheme." Within a stack, the
+ * page is striped across the stack's channels at a finer granularity.
+ *
+ * The stack hash is a per-group permutation (XOR of folded upper page
+ * bits into the low page bits), which keeps the full mapping
+ * address -> (channel, channel-local address) bijective; property
+ * tests rely on this.
+ *
+ * NUMA modes (paper Fig. 17): NPS1 interleaves every page across all
+ * stacks; NPS4 splits the address space into four equal ranges, each
+ * interleaved across its quadrant's stacks only.
+ */
+
+#ifndef EHPSIM_MEM_INTERLEAVE_HH
+#define EHPSIM_MEM_INTERLEAVE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+/** NUMA-per-socket mode. */
+enum class NumaMode
+{
+    nps1,   ///< one domain: interleave across all stacks
+    nps4,   ///< four domains: quarter address ranges x stack quadrants
+};
+
+/** Result of translating a physical address. */
+struct ChannelLocation
+{
+    unsigned stack;         ///< HBM stack index
+    unsigned channel;       ///< global channel index
+    Addr local;             ///< channel-local byte address
+};
+
+class InterleaveMap
+{
+  public:
+    /**
+     * @param num_stacks Number of HBM stacks (power of two).
+     * @param channels_per_stack Channels per stack (power of two).
+     * @param capacity_bytes Total capacity across all stacks.
+     * @param mode NUMA interleave mode.
+     * @param page_bytes Stack-interleave granularity (default 4 KB).
+     * @param stripe_bytes In-page channel stripe (default 256 B).
+     */
+    InterleaveMap(unsigned num_stacks, unsigned channels_per_stack,
+                  std::uint64_t capacity_bytes,
+                  NumaMode mode = NumaMode::nps1,
+                  std::uint64_t page_bytes = 4096,
+                  std::uint64_t stripe_bytes = 256);
+
+    unsigned numStacks() const { return num_stacks_; }
+
+    unsigned channelsPerStack() const { return channels_per_stack_; }
+
+    unsigned numChannels() const
+    {
+        return num_stacks_ * channels_per_stack_;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    std::uint64_t pageBytes() const { return page_bytes_; }
+
+    NumaMode mode() const { return mode_; }
+
+    /** Number of NUMA domains implied by the mode. */
+    unsigned numDomains() const
+    {
+        return mode_ == NumaMode::nps1 ? 1 : 4;
+    }
+
+    /** NUMA domain owning @p addr. */
+    unsigned domainOf(Addr addr) const;
+
+    /** Stack owning the 4 KB page containing @p addr. */
+    unsigned stackOf(Addr addr) const;
+
+    /** Full translation of @p addr. */
+    ChannelLocation locate(Addr addr) const;
+
+    /** Inverse of locate(); used by bijectivity tests. */
+    Addr
+    addressOf(unsigned channel, Addr local) const;
+
+  private:
+    unsigned num_stacks_;
+    unsigned channels_per_stack_;
+    std::uint64_t capacity_;
+    NumaMode mode_;
+    std::uint64_t page_bytes_;
+    std::uint64_t stripe_bytes_;
+    unsigned stacks_per_domain_;
+
+    /** Fold upper bits of the page group index into a small hash. */
+    static unsigned foldHash(std::uint64_t q, unsigned mask);
+};
+
+} // namespace mem
+} // namespace ehpsim
+
+#endif // EHPSIM_MEM_INTERLEAVE_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The common timing interface for memory-hierarchy components.
+ *
+ * ehpsim's memory system uses an atomic-with-occupancy timing model
+ * (comparable to gem5's atomic mode plus bandwidth contention): an
+ * access is a synchronous call that returns its completion tick, and
+ * each device tracks per-resource next-free times so that back-to-back
+ * traffic serializes at the device's bandwidth.
+ */
+
+#ifndef EHPSIM_MEM_MEM_DEVICE_HH
+#define EHPSIM_MEM_MEM_DEVICE_HH
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+namespace mem
+{
+
+/** Outcome of a timed access. */
+struct AccessResult
+{
+    Tick complete = 0;          ///< when the data is available
+    bool hit = true;            ///< serviced without the next level
+    std::uint64_t bytes_below = 0; ///< bytes moved to/from next level
+};
+
+class MemDevice : public SimObject
+{
+  public:
+    using SimObject::SimObject;
+
+    /**
+     * Perform a timed access.
+     * @param when Earliest tick the request can start.
+     * @param addr Physical byte address.
+     * @param bytes Request size.
+     * @param write True for stores/writebacks.
+     */
+    virtual AccessResult access(Tick when, Addr addr,
+                                std::uint64_t bytes, bool write) = 0;
+};
+
+/**
+ * A bandwidth-limited resource with backfill.
+ *
+ * Time is divided into fixed windows, each with a byte budget of
+ * bandwidth x window. A transfer starting at @p when consumes budget
+ * from its window onward and completes when its last byte fits.
+ * Unlike a strict next-free FIFO, a transfer arriving *earlier* than
+ * previously-reserved traffic can use leftover budget in earlier
+ * windows (backfill), so out-of-order completions upstream do not
+ * artificially serialize independent requests — they only contend
+ * for bandwidth.
+ */
+class OccupancyTracker
+{
+  public:
+    /** @param bytes_per_tick Bandwidth (may be fractional). */
+    explicit OccupancyTracker(double bytes_per_tick = 0.0)
+    {
+        setBandwidth(bytes_per_tick);
+    }
+
+    void
+    setBandwidth(double bytes_per_tick)
+    {
+        bytes_per_tick_ = bytes_per_tick;
+        if (bytes_per_tick_ > 0.0) {
+            // Window sized to carry ~1 KiB, clamped to [1 ns, 1 us].
+            double w = 1024.0 / bytes_per_tick_;
+            if (w < 1000.0)
+                w = 1000.0;
+            if (w > 1'000'000.0)
+                w = 1'000'000.0;
+            window_ = static_cast<Tick>(w);
+        } else {
+            window_ = 1000;
+        }
+    }
+
+    double bandwidth() const { return bytes_per_tick_; }
+
+    /**
+     * Consume @p bytes of budget starting no earlier than @p when.
+     * @return the tick at which the transfer finishes.
+     */
+    Tick
+    occupy(Tick when, std::uint64_t bytes)
+    {
+        if (bytes_per_tick_ <= 0.0 || bytes == 0)
+            return when;
+        const double budget =
+            bytes_per_tick_ * static_cast<double>(window_);
+        std::uint64_t w = when / window_;
+        double remaining = static_cast<double>(bytes);
+
+        // The first window only offers the budget left after 'when'.
+        {
+            const Tick w_end = (w + 1) * window_;
+            const double time_avail = static_cast<double>(w_end - when);
+            double avail = std::min(time_avail * bytes_per_tick_,
+                                    budget - used_[w]);
+            if (avail > 0) {
+                const double take = std::min(avail, remaining);
+                consume(w, take, budget);
+                remaining -= take;
+            }
+            if (remaining <= 0) {
+                const Tick done =
+                    when + static_cast<Tick>(
+                               static_cast<double>(bytes) /
+                               bytes_per_tick_ + 0.5);
+                last_done_ = std::max(last_done_, done);
+                return done;
+            }
+            w = findFree(w + 1, budget);
+        }
+        for (;;) {
+            const double avail = budget - used_[w];
+            const double take = std::min(avail, remaining);
+            consume(w, take, budget);
+            remaining -= take;
+            if (remaining <= 0) {
+                const Tick done =
+                    w * window_ +
+                    static_cast<Tick>(used_[w] / bytes_per_tick_);
+                last_done_ = std::max(last_done_, done);
+                return done;
+            }
+            w = findFree(w + 1, budget);
+        }
+    }
+
+    /** Latest completion handed out (diagnostic only). */
+    Tick nextFree() const { return last_done_; }
+
+    void
+    reset()
+    {
+        used_.clear();
+        skip_.clear();
+        last_done_ = 0;
+    }
+
+  private:
+    /**
+     * First window at or after @p w with free budget, following the
+     * path-compressed skip chain over full windows.
+     */
+    std::uint64_t
+    findFree(std::uint64_t w, double budget)
+    {
+        // Walk the chain.
+        std::uint64_t cur = w;
+        for (;;) {
+            auto it = skip_.find(cur);
+            std::uint64_t next = it == skip_.end() ? cur : it->second;
+            if (next == cur) {
+                auto used_it = used_.find(cur);
+                if (used_it == used_.end() ||
+                    used_it->second < budget - 1e-6) {
+                    break;
+                }
+                next = cur + 1;
+            }
+            cur = next;
+        }
+        // Path-compress: point every visited window at the answer.
+        std::uint64_t walk = w;
+        while (walk < cur) {
+            auto it = skip_.find(walk);
+            const std::uint64_t next =
+                it == skip_.end() ? walk + 1 : it->second;
+            skip_[walk] = cur;
+            walk = next;
+        }
+        return cur;
+    }
+
+    /** Record usage; mark the window full in the skip chain. */
+    void
+    consume(std::uint64_t w, double take, double budget)
+    {
+        double &u = used_[w];
+        u += take;
+        if (u >= budget - 1e-6)
+            skip_[w] = w + 1;
+    }
+
+    double bytes_per_tick_ = 0.0;
+    Tick window_ = 1000;
+    std::unordered_map<std::uint64_t, double> used_;
+    std::unordered_map<std::uint64_t, std::uint64_t> skip_;
+    Tick last_done_ = 0;
+};
+
+} // namespace mem
+} // namespace ehpsim
+
+#endif // EHPSIM_MEM_MEM_DEVICE_HH

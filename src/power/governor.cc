@@ -1,0 +1,139 @@
+#include "power/governor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace power
+{
+
+std::vector<double>
+Allocation::perDomain(const PowerModel &model) const
+{
+    std::vector<double> out(numDomains, 0.0);
+    const auto &comps = model.components();
+    for (std::size_t i = 0; i < comps.size(); ++i)
+        out[static_cast<unsigned>(comps[i].domain)] += watts[i];
+    return out;
+}
+
+PowerGovernor::PowerGovernor(SimObject *parent, const std::string &name,
+                             PowerModel *model)
+    : SimObject(parent, name),
+      allocations(this, "allocations", "allocation rounds"),
+      throttle_events(this, "throttle_events",
+                      "rounds where demand exceeded the TDP"),
+      model_(model)
+{
+}
+
+Allocation
+PowerGovernor::allocate(const std::vector<double> &utilization)
+{
+    const auto &comps = model_->components();
+    if (utilization.size() != comps.size())
+        fatal("utilization vector must parallel components");
+    std::vector<double> demand(comps.size());
+    for (std::size_t i = 0; i < comps.size(); ++i)
+        demand[i] = comps[i].powerAt(utilization[i]);
+    return solve(demand);
+}
+
+Allocation
+PowerGovernor::allocateForDistribution(const PowerDistribution &dist)
+{
+    const auto &comps = model_->components();
+    // Count components per domain.
+    unsigned counts[numDomains] = {};
+    for (const auto &c : comps)
+        ++counts[static_cast<unsigned>(c.domain)];
+
+    std::vector<double> demand(comps.size());
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        const unsigned d = static_cast<unsigned>(comps[i].domain);
+        const double domain_w = dist.share[d] * model_->tdp();
+        demand[i] = counts[d] ? domain_w / counts[d] : 0.0;
+        // Demand cannot be below idle or above peak.
+        demand[i] = std::clamp(demand[i], comps[i].idle_w,
+                               comps[i].peak_w);
+    }
+    return solve(demand);
+}
+
+Allocation
+PowerGovernor::solve(const std::vector<double> &demand)
+{
+    ++allocations;
+    const auto &comps = model_->components();
+    const double budget = model_->tdp();
+
+    Allocation alloc;
+    alloc.watts.resize(comps.size());
+
+    // Floors first: everything gets idle power.
+    double committed = 0;
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        alloc.watts[i] = comps[i].idle_w;
+        committed += comps[i].idle_w;
+    }
+    if (committed > budget)
+        fatal("idle power ", committed, " W exceeds TDP ", budget,
+              " W");
+
+    // Water-fill the remaining budget proportional to unmet demand,
+    // capped at each component's demand (and peak).
+    double remaining = budget - committed;
+    std::vector<double> want(comps.size());
+    double total_want = 0;
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        const double cap = std::min(demand[i], comps[i].peak_w);
+        want[i] = std::max(0.0, cap - alloc.watts[i]);
+        total_want += want[i];
+    }
+
+    if (total_want <= remaining) {
+        // No contention: everyone gets their demand.
+        for (std::size_t i = 0; i < comps.size(); ++i)
+            alloc.watts[i] += want[i];
+    } else {
+        alloc.throttled = true;
+        ++throttle_events;
+        // Iterative water-fill: grant proportionally, re-running as
+        // components saturate at their caps.
+        std::vector<bool> saturated(comps.size(), false);
+        for (int round = 0; round < 32 && remaining > 1e-9; ++round) {
+            double open_want = 0;
+            for (std::size_t i = 0; i < comps.size(); ++i) {
+                if (!saturated[i])
+                    open_want += want[i];
+            }
+            if (open_want <= 1e-12)
+                break;
+            const double frac = std::min(1.0, remaining / open_want);
+            double granted = 0;
+            for (std::size_t i = 0; i < comps.size(); ++i) {
+                if (saturated[i] || want[i] <= 0)
+                    continue;
+                const double g = want[i] * frac;
+                alloc.watts[i] += g;
+                want[i] -= g;
+                granted += g;
+                if (want[i] <= 1e-12)
+                    saturated[i] = true;
+            }
+            remaining -= granted;
+            if (frac >= 1.0)
+                break;
+        }
+    }
+
+    alloc.total = 0;
+    for (double w : alloc.watts)
+        alloc.total += w;
+    return alloc;
+}
+
+} // namespace power
+} // namespace ehpsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The dynamic power-shifting governor (paper Sec. V.D/V.E).
+ *
+ * "As workloads transition between compute-dominated and
+ * memory-intensive phases, power can be vertically
+ * shifted/reallocated between the IOD and the compute chiplets."
+ *
+ * Given per-component demands, the governor allocates the socket TDP:
+ * every component receives at least idle power, no component exceeds
+ * its peak or its demand, and any remaining budget is distributed by
+ * water-filling proportional to unmet demand. Property tests check
+ * budget, floor/ceiling, and conservation invariants.
+ */
+
+#ifndef EHPSIM_POWER_GOVERNOR_HH
+#define EHPSIM_POWER_GOVERNOR_HH
+
+#include <vector>
+
+#include "power/power_model.hh"
+
+namespace ehpsim
+{
+namespace power
+{
+
+/** Result of one allocation round. */
+struct Allocation
+{
+    std::vector<double> watts;      ///< per component
+    double total = 0;
+    bool throttled = false;         ///< demand exceeded the budget
+
+    /** Sum of allocated power per domain. */
+    std::vector<double>
+    perDomain(const PowerModel &model) const;
+};
+
+class PowerGovernor : public SimObject
+{
+  public:
+    PowerGovernor(SimObject *parent, const std::string &name,
+                  PowerModel *model);
+
+    /**
+     * Allocate the TDP given per-component utilizations in [0, 1]
+     * (parallel to the model's component list).
+     */
+    Allocation allocate(const std::vector<double> &utilization);
+
+    /**
+     * Convenience: allocate for a target distribution (Fig. 12a) —
+     * demand per domain is the distribution's share of the TDP,
+     * spread evenly over the domain's components.
+     */
+    Allocation allocateForDistribution(const PowerDistribution &dist);
+
+    /** @{ statistics */
+    stats::Scalar allocations;
+    stats::Scalar throttle_events;
+    /** @} */
+
+  private:
+    Allocation solve(const std::vector<double> &demand);
+
+    PowerModel *model_;
+};
+
+} // namespace power
+} // namespace ehpsim
+
+#endif // EHPSIM_POWER_GOVERNOR_HH

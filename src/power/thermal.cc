@@ -1,0 +1,210 @@
+#include "power/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace power
+{
+
+ThermalGrid::ThermalGrid(SimObject *parent, const std::string &name,
+                         const geom::Floorplan *plan,
+                         const ThermalParams &params)
+    : SimObject(parent, name), plan_(plan), params_(params)
+{
+    if (!plan)
+        fatal("thermal grid needs a floorplan");
+    const auto &b = plan->bounds();
+    cell_w_ = b.w / params_.nx;
+    cell_h_ = b.h / params_.ny;
+    power_.assign(static_cast<std::size_t>(params_.nx) * params_.ny,
+                  0.0);
+    temp_.assign(power_.size(), params_.ambient_c);
+}
+
+unsigned
+ThermalGrid::solve(const std::vector<double> &region_watts)
+{
+    const auto &regions = plan_->regions();
+    if (region_watts.size() != regions.size())
+        fatal("region_watts must parallel the floorplan regions");
+
+    // Rasterize power onto the grid: each region's watts are spread
+    // uniformly over the cells whose centres it covers.
+    std::fill(power_.begin(), power_.end(), 0.0);
+    total_power_ = 0;
+    const auto &b = plan_->bounds();
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        if (region_watts[r] <= 0)
+            continue;
+        total_power_ += region_watts[r];
+        // Count covered cells first.
+        std::vector<unsigned> covered;
+        for (unsigned iy = 0; iy < params_.ny; ++iy) {
+            for (unsigned ix = 0; ix < params_.nx; ++ix) {
+                const geom::Point c{
+                    b.x + (ix + 0.5) * cell_w_,
+                    b.y + (iy + 0.5) * cell_h_};
+                if (regions[r].rect.contains(c))
+                    covered.push_back(cellIndex(ix, iy));
+            }
+        }
+        if (covered.empty()) {
+            warn("region '", regions[r].name,
+                 "' covers no thermal cells; power dropped");
+            total_power_ -= region_watts[r];
+            continue;
+        }
+        const double per_cell =
+            region_watts[r] / static_cast<double>(covered.size());
+        for (unsigned idx : covered)
+            power_[idx] += per_cell;
+    }
+
+    // Jacobi iteration: T_i = (P_i + k_l * sum(T_nbr) +
+    // k_v * T_amb) / (k_l * n_nbr + k_v).
+    std::vector<double> next(temp_.size());
+    unsigned iter = 0;
+    for (; iter < params_.max_iters; ++iter) {
+        double max_delta = 0;
+        for (unsigned iy = 0; iy < params_.ny; ++iy) {
+            for (unsigned ix = 0; ix < params_.nx; ++ix) {
+                const unsigned idx = cellIndex(ix, iy);
+                double nbr_sum = 0;
+                unsigned nbrs = 0;
+                if (ix > 0) {
+                    nbr_sum += temp_[idx - 1];
+                    ++nbrs;
+                }
+                if (ix + 1 < params_.nx) {
+                    nbr_sum += temp_[idx + 1];
+                    ++nbrs;
+                }
+                if (iy > 0) {
+                    nbr_sum += temp_[idx - params_.nx];
+                    ++nbrs;
+                }
+                if (iy + 1 < params_.ny) {
+                    nbr_sum += temp_[idx + params_.nx];
+                    ++nbrs;
+                }
+                const double denom =
+                    params_.k_lateral * nbrs + params_.k_vertical;
+                const double t =
+                    (power_[idx] + params_.k_lateral * nbr_sum +
+                     params_.k_vertical * params_.ambient_c) /
+                    denom;
+                max_delta = std::max(max_delta,
+                                     std::fabs(t - temp_[idx]));
+                next[idx] = t;
+            }
+        }
+        temp_.swap(next);
+        if (max_delta < params_.tolerance)
+            break;
+    }
+    return iter;
+}
+
+double
+ThermalGrid::temperatureAt(double x_mm, double y_mm) const
+{
+    const auto &b = plan_->bounds();
+    const double fx = (x_mm - b.x) / cell_w_;
+    const double fy = (y_mm - b.y) / cell_h_;
+    const unsigned ix = std::min(
+        params_.nx - 1,
+        static_cast<unsigned>(std::max(0.0, fx)));
+    const unsigned iy = std::min(
+        params_.ny - 1,
+        static_cast<unsigned>(std::max(0.0, fy)));
+    return temp_[cellIndex(ix, iy)];
+}
+
+double
+ThermalGrid::regionTemperature(const std::string &region_name) const
+{
+    const auto *r = plan_->find(region_name);
+    if (!r)
+        fatal("unknown floorplan region '", region_name, "'");
+    const auto &b = plan_->bounds();
+    double sum = 0;
+    unsigned n = 0;
+    for (unsigned iy = 0; iy < params_.ny; ++iy) {
+        for (unsigned ix = 0; ix < params_.nx; ++ix) {
+            const geom::Point c{b.x + (ix + 0.5) * cell_w_,
+                                b.y + (iy + 0.5) * cell_h_};
+            if (r->rect.contains(c)) {
+                sum += temp_[cellIndex(ix, iy)];
+                ++n;
+            }
+        }
+    }
+    return n ? sum / n : params_.ambient_c;
+}
+
+double
+ThermalGrid::maxTemperature() const
+{
+    return *std::max_element(temp_.begin(), temp_.end());
+}
+
+std::string
+ThermalGrid::hottestRegion() const
+{
+    const auto it = std::max_element(temp_.begin(), temp_.end());
+    const auto idx = static_cast<unsigned>(it - temp_.begin());
+    const unsigned ix = idx % params_.nx;
+    const unsigned iy = idx / params_.nx;
+    const auto &b = plan_->bounds();
+    const geom::Point c{b.x + (ix + 0.5) * cell_w_,
+                        b.y + (iy + 0.5) * cell_h_};
+    for (const auto &r : plan_->regions()) {
+        if (r.rect.contains(c))
+            return r.name;
+    }
+    return "";
+}
+
+double
+ThermalGrid::conservationError() const
+{
+    if (total_power_ <= 0)
+        return 0.0;
+    double shed = 0;
+    for (double t : temp_)
+        shed += params_.k_vertical * (t - params_.ambient_c);
+    return std::fabs(total_power_ - shed) / total_power_;
+}
+
+std::string
+ThermalGrid::asciiHeatMap(unsigned cols, unsigned rows) const
+{
+    static const char ramp[] = " .:-=+*#%@";
+    const double t_min = params_.ambient_c;
+    const double t_max = std::max(maxTemperature(), t_min + 1e-9);
+    const auto &b = plan_->bounds();
+    std::string out;
+    for (unsigned r = 0; r < rows; ++r) {
+        // Row 0 at the top of the floorplan.
+        const double y =
+            b.y + b.h * (rows - 0.5 - r) / static_cast<double>(rows);
+        for (unsigned c = 0; c < cols; ++c) {
+            const double x =
+                b.x + b.w * (c + 0.5) / static_cast<double>(cols);
+            const double t = temperatureAt(x, y);
+            const double f = (t - t_min) / (t_max - t_min);
+            const int level = std::clamp(
+                static_cast<int>(f * 9.0), 0, 9);
+            out += ramp[level];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace power
+} // namespace ehpsim

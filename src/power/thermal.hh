@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A 2-D steady-state thermal grid solver (paper Sec. V.E,
+ * Fig. 12b/c).
+ *
+ * The package floorplan is rasterized onto a uniform grid; each cell
+ * receives a power density from the floorplan regions' allocated
+ * power, conducts laterally to its four neighbours, and sheds heat
+ * vertically through the cold plate. Jacobi iteration to steady
+ * state reproduces the paper's qualitative result: XCD hotspots in
+ * compute-intensive scenarios, and visible HBM-PHY/USR-PHY heating
+ * in memory-intensive scenarios.
+ */
+
+#ifndef EHPSIM_POWER_THERMAL_HH
+#define EHPSIM_POWER_THERMAL_HH
+
+#include <string>
+#include <vector>
+
+#include "geom/floorplan.hh"
+#include "sim/sim_object.hh"
+
+namespace ehpsim
+{
+namespace power
+{
+
+struct ThermalParams
+{
+    unsigned nx = 64;
+    unsigned ny = 64;
+    double ambient_c = 35.0;        ///< coolant temperature
+    double k_lateral = 0.05;         ///< lateral conductance (W/K)
+    double k_vertical = 0.006;       ///< per-cell to coldplate (W/K)
+    unsigned max_iters = 20000;
+    double tolerance = 1e-5;        ///< max per-cell delta (K)
+};
+
+class ThermalGrid : public SimObject
+{
+  public:
+    ThermalGrid(SimObject *parent, const std::string &name,
+                const geom::Floorplan *plan,
+                const ThermalParams &params = {});
+
+    const ThermalParams &params() const { return params_; }
+
+    /**
+     * Solve steady state given power (W) per floorplan region
+     * (parallel to plan->regions()). Unlisted area gets zero power.
+     * @return number of iterations used.
+     */
+    unsigned solve(const std::vector<double> &region_watts);
+
+    /** Temperature at a point (after solve()). */
+    double temperatureAt(double x_mm, double y_mm) const;
+
+    /** Mean temperature over a region's cells. */
+    double regionTemperature(const std::string &region_name) const;
+
+    double maxTemperature() const;
+
+    /** Floorplan region containing the hottest cell ("" if none). */
+    std::string hottestRegion() const;
+
+    /** Total power injected in the last solve. */
+    double totalPower() const { return total_power_; }
+
+    /**
+     * Energy balance residual of the solution: |P_in - P_out| / P_in
+     * where P_out is the vertical heat shed to the cold plate.
+     */
+    double conservationError() const;
+
+    /** Raw temperature field (ny rows of nx), for rendering. */
+    const std::vector<double> &field() const { return temp_; }
+
+    /** ASCII heat map (rows top to bottom) for reports. */
+    std::string asciiHeatMap(unsigned cols = 48,
+                             unsigned rows = 24) const;
+
+  private:
+    unsigned cellIndex(unsigned ix, unsigned iy) const
+    {
+        return iy * params_.nx + ix;
+    }
+
+    const geom::Floorplan *plan_;
+    ThermalParams params_;
+    std::vector<double> power_;     ///< per-cell injected watts
+    std::vector<double> temp_;      ///< per-cell temperature (C)
+    double cell_w_ = 1;
+    double cell_h_ = 1;
+    double total_power_ = 0;
+};
+
+} // namespace power
+} // namespace ehpsim
+
+#endif // EHPSIM_POWER_THERMAL_HH

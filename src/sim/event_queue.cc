@@ -1,0 +1,103 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        panic("event scheduled twice; use reschedule()");
+    if (when < cur_tick_)
+        panic("scheduling event in the past: when=", when,
+              " cur=", cur_tick_);
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->seq_ = next_seq_++;
+    queue_.push(Entry{when, ev->priority(), ev->seq_, ev});
+    ++live_count_;
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           int priority)
+{
+    schedule(new LambdaEvent(std::move(fn), priority), when);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->scheduled_)
+        panic("descheduling an event that is not scheduled");
+    if (ev->selfDeleting())
+        panic("cannot deschedule a self-deleting event");
+    // Lazy removal: mark dead; the stale queue entry is skipped later.
+    ev->scheduled_ = false;
+    --live_count_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!queue_.empty()) {
+        const Entry &head = queue_.top();
+        // An entry is stale if its event was descheduled (scheduled_
+        // false) or rescheduled (seq mismatch).
+        if (head.ev->scheduled_ && head.ev->seq_ == head.seq)
+            return;
+        queue_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    return live_count_ == 0;
+}
+
+bool
+EventQueue::step()
+{
+    skipDead();
+    if (queue_.empty())
+        return false;
+    Entry entry = queue_.top();
+    queue_.pop();
+    --live_count_;
+    cur_tick_ = entry.when;
+    Event *ev = entry.ev;
+    ev->scheduled_ = false;
+    ++num_processed_;
+    ev->process();
+    if (ev->selfDeleting())
+        delete ev;
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    for (;;) {
+        skipDead();
+        if (queue_.empty())
+            return cur_tick_;
+        if (queue_.top().when > limit) {
+            cur_tick_ = limit;
+            return cur_tick_;
+        }
+        step();
+    }
+}
+
+} // namespace ehpsim

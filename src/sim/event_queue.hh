@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue orders Event objects by (tick, priority, insertion
+ * sequence) so simulations are fully deterministic. Events are owned
+ * by their creators; the queue never deletes them. Callback-style
+ * events (LambdaEvent) are provided for one-shot work and can be
+ * self-deleting.
+ */
+
+#ifndef EHPSIM_SIM_EVENT_QUEUE_HH
+#define EHPSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+
+class EventQueue;
+
+/**
+ * Base class for anything schedulable on an EventQueue.
+ */
+class Event
+{
+  public:
+    /** Lower values run first among events at the same tick. */
+    enum Priority : int
+    {
+        maximumPriority = 0,
+        defaultPriority = 50,
+        minimumPriority = 100,
+    };
+
+    explicit Event(int priority = defaultPriority)
+        : priority_(priority)
+    {}
+
+    virtual ~Event() = default;
+
+    /** Invoked by the queue when the event's tick arrives. */
+    virtual void process() = 0;
+
+    /**
+     * If true, the queue deletes the event after process() returns
+     * (only valid for heap-allocated events).
+     */
+    virtual bool selfDeleting() const { return false; }
+
+    int priority() const { return priority_; }
+
+    bool scheduled() const { return scheduled_; }
+
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    int priority_;
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/** One-shot heap-allocated event wrapping a callable. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         int priority = defaultPriority)
+        : Event(priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+    bool selfDeleting() const override { return true; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * A deterministic discrete-event queue.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return cur_tick_; }
+
+    /** Schedule @p ev to fire at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Convenience: schedule a one-shot callback at @p when. */
+    void scheduleLambda(Tick when, std::function<void()> fn,
+                        int priority = Event::defaultPriority);
+
+    /** Remove a scheduled (non-self-deleting) event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Re-schedule an already-scheduled event to a new tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True when no events remain. */
+    bool empty() const;
+
+    /** Number of pending (non-descheduled) events. */
+    std::size_t size() const { return live_count_; }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * @return the tick at which execution stopped.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Run a single event; @return false if the queue was empty. */
+    bool step();
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t numProcessed() const { return num_processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    /** Pop entries until the head is a live (still-scheduled) event. */
+    void skipDead();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    Tick cur_tick_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t num_processed_ = 0;
+    std::size_t live_count_ = 0;
+};
+
+} // namespace ehpsim
+
+#endif // EHPSIM_SIM_EVENT_QUEUE_HH

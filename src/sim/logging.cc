@@ -1,0 +1,63 @@
+#include "sim/logging.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ehpsim
+{
+namespace logging_detail
+{
+
+namespace
+{
+std::uint64_t warn_count = 0;
+bool quiet = false;
+} // anonymous namespace
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throw instead of exit(1) so that library users (and tests) can
+    // intercept configuration errors; uncaught it still terminates.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    ++warn_count;
+    if (!quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+std::uint64_t
+warnCount()
+{
+    return warn_count;
+}
+
+void
+setQuiet(bool q)
+{
+    quiet = q;
+}
+
+} // namespace logging_detail
+} // namespace ehpsim

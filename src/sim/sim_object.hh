@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Base class for simulated hardware components.
+ *
+ * A SimObject couples a name, a StatGroup node, and a pointer to the
+ * owning EventQueue, mirroring gem5's SimObject in miniature.
+ */
+
+#ifndef EHPSIM_SIM_SIM_OBJECT_HH
+#define EHPSIM_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+
+class SimObject : public stats::StatGroup
+{
+  public:
+    /**
+     * @param parent Enclosing component (may be nullptr for roots).
+     * @param name Short name; the stat path prepends the parents'.
+     * @param eq Event queue driving this component; roots must supply
+     *        one, children default to their parent's.
+     */
+    SimObject(SimObject *parent, std::string name,
+              EventQueue *eq = nullptr)
+        : stats::StatGroup(parent, name),
+          name_(std::move(name)),
+          parent_(parent),
+          eventq_(eq ? eq : (parent ? parent->eventq_ : nullptr))
+    {
+    }
+
+    const std::string &name() const { return name_; }
+
+    SimObject *parent() const { return parent_; }
+
+    EventQueue *eventq() const { return eventq_; }
+
+    Tick curTick() const { return eventq_ ? eventq_->curTick() : 0; }
+
+  private:
+    std::string name_;
+    SimObject *parent_;
+    EventQueue *eventq_;
+};
+
+} // namespace ehpsim
+
+#endif // EHPSIM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,197 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &path) const
+{
+    os << path << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::dump(std::ostream &os, const std::string &path) const
+{
+    os << path << name() << "::mean " << mean() << " # " << desc()
+       << "\n";
+    os << path << name() << "::min " << min() << " # " << desc() << "\n";
+    os << path << name() << "::max " << max() << " # " << desc() << "\n";
+    os << path << name() << "::count " << count_ << " # " << desc()
+       << "\n";
+}
+
+void
+Average::reset()
+{
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    count_ = 0;
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc)
+    : StatBase(parent, std::move(name), std::move(desc))
+{
+    init(0, 1, 1);
+}
+
+Distribution &
+Distribution::init(double lo, double hi, unsigned nbuckets)
+{
+    if (hi <= lo || nbuckets == 0)
+        panic("bad distribution bounds: [", lo, ", ", hi, ") x ",
+              nbuckets);
+    lo_ = lo;
+    hi_ = hi;
+    bucket_width_ = (hi - lo) / nbuckets;
+    buckets_.assign(nbuckets, 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0;
+    return *this;
+}
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (v < lo_) {
+        underflow_ += n;
+    } else if (v >= hi_) {
+        overflow_ += n;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / bucket_width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        buckets_[idx] += n;
+    }
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &path) const
+{
+    os << path << name() << "::mean " << mean() << " # " << desc()
+       << "\n";
+    os << path << name() << "::count " << count_ << " # " << desc()
+       << "\n";
+    os << path << name() << "::underflows " << underflow_ << " # "
+       << desc() << "\n";
+    os << path << name() << "::overflows " << overflow_ << " # "
+       << desc() << "\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double b_lo = lo_ + bucket_width_ * static_cast<double>(i);
+        os << path << name() << "::bucket[" << b_lo << "] "
+           << buckets_[i] << " # " << desc() << "\n";
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0;
+}
+
+Formula::Formula(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      fn_(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &path) const
+{
+    os << path << name() << " " << value() << " # " << desc() << "\n";
+}
+
+StatGroup::StatGroup(StatGroup *parent, std::string name)
+    : parent_(parent), name_(std::move(name))
+{
+    if (parent_)
+        parent_->groups_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_) {
+        auto &siblings = parent_->groups_;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(),
+                                   this),
+                       siblings.end());
+    }
+}
+
+std::string
+StatGroup::statPath() const
+{
+    if (!parent_)
+        return name_;
+    std::string p = parent_->statPath();
+    if (p.empty())
+        return name_;
+    return p + "." + name_;
+}
+
+void
+StatGroup::dumpStats(std::ostream &os) const
+{
+    std::string path = statPath();
+    if (!path.empty())
+        path += ".";
+    for (const auto *stat : stats_)
+        stat->dump(os, path);
+    for (const auto *group : groups_)
+        group->dumpStats(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : stats_)
+        stat->reset();
+    for (auto *group : groups_)
+        group->resetStats();
+}
+
+StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (auto *stat : stats_) {
+        if (stat->name() == name)
+            return stat;
+    }
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace ehpsim

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics register themselves with a StatGroup; groups nest so the
+ * whole system forms a tree that can be dumped as "path.name value"
+ * lines. Supported kinds: Scalar (counter), Average (mean of
+ * samples), Distribution (bucketed histogram with min/max/mean), and
+ * Formula (derived value evaluated at dump time).
+ */
+
+#ifndef EHPSIM_SIM_STATS_HH
+#define EHPSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ehpsim
+{
+namespace stats
+{
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+
+    const std::string &desc() const { return desc_; }
+
+    /** Emit "path value # desc" lines. */
+    virtual void dump(std::ostream &os,
+                      const std::string &path) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically adjustable counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+
+    Scalar &operator++() { value_ += 1; return *this; }
+
+    void set(double v) { value_ = v; }
+
+    double value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &path) const override;
+
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Mean/min/max over individually recorded samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    double min() const { return count_ ? min_ : 0.0; }
+
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void dump(std::ostream &os, const std::string &path) const override;
+
+    void reset() override;
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width bucketed histogram. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc);
+
+    /** Configure bucket range [lo, hi) with @p nbuckets buckets. */
+    Distribution &init(double lo, double hi, unsigned nbuckets);
+
+    void sample(double v, std::uint64_t n = 1);
+
+    std::uint64_t count() const { return count_; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    std::uint64_t underflows() const { return underflow_; }
+
+    std::uint64_t overflows() const { return overflow_; }
+
+    void dump(std::ostream &os, const std::string &path) const override;
+
+    void reset() override;
+
+  private:
+    double lo_ = 0;
+    double hi_ = 1;
+    double bucket_width_ = 1;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+};
+
+/** A derived statistic evaluated lazily at dump time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void dump(std::ostream &os, const std::string &path) const override;
+
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named node in the statistics tree. Components own a StatGroup
+ * (usually via inheritance) and declare stats as members.
+ */
+class StatGroup
+{
+  public:
+    StatGroup(StatGroup *parent, std::string name);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &statName() const { return name_; }
+
+    /** Full dotted path from the root group. */
+    std::string statPath() const;
+
+    /** Dump this group's subtree. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset this group's subtree. */
+    void resetStats();
+
+    const std::vector<StatBase *> &statList() const { return stats_; }
+
+    const std::vector<StatGroup *> &groupList() const { return groups_; }
+
+    /** Find a stat by name in this group only; nullptr if absent. */
+    StatBase *findStat(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { stats_.push_back(stat); }
+
+    StatGroup *parent_;
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> groups_;
+};
+
+} // namespace stats
+} // namespace ehpsim
+
+#endif // EHPSIM_SIM_STATS_HH

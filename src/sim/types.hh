@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every ehpsim module.
+ */
+
+#ifndef EHPSIM_SIM_TYPES_HH
+#define EHPSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace ehpsim
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles (clock domain dependent). */
+using Cycles = std::uint64_t;
+
+/** A physical (simulated) memory address. */
+using Addr = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per second: 1 tick == 1 ps. */
+constexpr Tick ticksPerSecond = 1000ull * 1000 * 1000 * 1000;
+
+/** Convert a frequency in GHz to the tick period of one cycle. */
+constexpr Tick
+periodFromGHz(double ghz)
+{
+    return static_cast<Tick>(1000.0 / ghz);
+}
+
+/** Convert seconds (double) to ticks. */
+constexpr Tick
+ticksFromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond));
+}
+
+/** Convert ticks to seconds (double). */
+constexpr double
+secondsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+} // namespace ehpsim
+
+#endif // EHPSIM_SIM_TYPES_HH

@@ -1,0 +1,44 @@
+#include "sim/units.hh"
+
+#include <cstdio>
+
+namespace ehpsim
+{
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= GiB && bytes % GiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu GiB",
+                      static_cast<unsigned long long>(bytes / GiB));
+    } else if (bytes >= MiB && bytes % MiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu MiB",
+                      static_cast<unsigned long long>(bytes / MiB));
+    } else if (bytes >= KiB && bytes % KiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu KiB",
+                      static_cast<unsigned long long>(bytes / KiB));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatBandwidth(BytesPerSecond bw)
+{
+    char buf[64];
+    if (bw >= 1e12) {
+        std::snprintf(buf, sizeof(buf), "%.2f TB/s", bw / 1e12);
+    } else if (bw >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2f GB/s", bw / 1e9);
+    } else if (bw >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2f MB/s", bw / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f B/s", bw);
+    }
+    return buf;
+}
+
+} // namespace ehpsim

@@ -1,0 +1,209 @@
+#include "soc/floorplan_builder.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+namespace
+{
+
+constexpr double iodW = 11.5;
+constexpr double iodH = 11.5;
+constexpr double gap = 0.5;
+constexpr double stackW = 9.5;
+constexpr double stackH = 5.0;
+constexpr double stripW = 0.45;     ///< USR / PHY strip width
+
+struct DieCounters
+{
+    unsigned xcd = 0;
+    unsigned ccd = 0;
+    unsigned stack = 0;
+};
+
+/**
+ * Tile one IOD at (x0, y0). @p inner_left/right/top/bottom flag
+ * which edges face another IOD (USR strips); outer x edges get
+ * HBM-PHY strips.
+ */
+void
+tileIod(geom::Floorplan &fp, const ProductConfig &cfg, unsigned i,
+        double x0, double y0, bool inner_left, bool inner_right,
+        bool inner_top, bool inner_bottom, DieCounters &ctr)
+{
+    const std::string iod = "iod" + std::to_string(i);
+    using geom::RegionKind;
+
+    // Horizontal bands.
+    const double band_h = 2.9;
+    if (inner_bottom) {
+        fp.add(iod + ".usr_s", {x0, y0, iodW, stripW},
+               RegionKind::phy);
+        fp.add(iod + ".cache",
+               {x0, y0 + stripW, iodW, band_h - stripW},
+               RegionKind::cache);
+    } else {
+        fp.add(iod + ".cache", {x0, y0, iodW, band_h},
+               RegionKind::cache);
+    }
+    const double top_y = y0 + iodH - 2.4;
+    if (inner_top) {
+        fp.add(iod + ".usr_n",
+               {x0, y0 + iodH - stripW, iodW, stripW},
+               RegionKind::phy);
+        fp.add(iod + ".fabric",
+               {x0, top_y, iodW, 2.4 - stripW}, RegionKind::fabric);
+    } else {
+        fp.add(iod + ".fabric", {x0, top_y, iodW, 2.4},
+               RegionKind::fabric);
+    }
+
+    // Middle band edge strips.
+    const double mid_y = y0 + band_h;
+    const double mid_h = iodH - band_h - 2.4;
+    fp.add(inner_left ? iod + ".usr_w" : iod + ".hbmphy_w",
+           {x0, mid_y, stripW, mid_h}, RegionKind::phy);
+    fp.add(inner_right ? iod + ".usr_e" : iod + ".hbmphy_e",
+           {x0 + iodW - stripW, mid_y, stripW, mid_h},
+           RegionKind::phy);
+
+    // Compute dies in the middle band.
+    const IodConfig &ic = cfg.iods[i];
+    const double area_x = x0 + stripW + 0.25;
+    const double area_w = iodW - 2 * stripW - 0.5;
+    const unsigned dies = ic.num_xcds + ic.num_ccds;
+    if (dies > 0) {
+        const double pitch = area_w / dies;
+        const double die_w = pitch - 0.2;
+        const double die_h = mid_h - 0.2;
+        for (unsigned d = 0; d < dies; ++d) {
+            const bool is_xcd = d < ic.num_xcds;
+            const std::string name =
+                is_xcd ? "xcd" + std::to_string(ctr.xcd++)
+                       : "ccd" + std::to_string(ctr.ccd++);
+            fp.add(name,
+                   {area_x + d * pitch + 0.1, mid_y + 0.1, die_w,
+                    die_h},
+                   RegionKind::compute);
+        }
+    }
+}
+
+} // anonymous namespace
+
+geom::Floorplan
+buildPackageFloorplan(const ProductConfig &cfg)
+{
+    const unsigned n = static_cast<unsigned>(cfg.iods.size());
+    const bool quad = n == 4;
+    const unsigned cols = quad ? 2 : n;
+    const unsigned rows = quad ? 2 : 1;
+
+    // Stack columns flank the IOD grid on the left/right (quad) or
+    // bands above/below (row layout).
+    const double grid_w = cols * iodW + (cols - 1) * gap;
+    const double grid_h = rows * iodH + (rows - 1) * gap;
+    double bounds_w, bounds_h, grid_x, grid_y;
+    if (quad) {
+        bounds_w = grid_w + 2 * (stackW + 2 * gap);
+        bounds_h = grid_h + 2 * gap;
+        grid_x = stackW + 2 * gap;
+        grid_y = gap;
+    } else {
+        bounds_w = grid_w + 2 * gap;
+        bounds_h = grid_h + 2 * (stackH + 2 * gap);
+        grid_x = gap;
+        grid_y = stackH + 2 * gap;
+    }
+
+    geom::Floorplan fp({0, 0, bounds_w, bounds_h});
+    DieCounters ctr;
+
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned gx = quad ? i % 2 : i;
+        const unsigned gy = quad ? i / 2 : 0;
+        const double x0 = grid_x + gx * (iodW + gap);
+        const double y0 = grid_y + gy * (iodH + gap);
+        const bool inner_left = quad ? gx == 1 : i > 0;
+        const bool inner_right = quad ? gx == 0 : i + 1 < n;
+        const bool inner_top = quad && gy == 0;
+        const bool inner_bottom = quad && gy == 1;
+        tileIod(fp, cfg, i, x0, y0, inner_left, inner_right,
+                inner_top, inner_bottom, ctr);
+
+        // HBM stacks beside (quad) or above/below (row) their IOD.
+        for (unsigned k = 0; k < cfg.iods[i].num_hbm_stacks; ++k) {
+            const std::string name = "hbm" + std::to_string(ctr.stack++);
+            geom::Rect r;
+            if (quad) {
+                const double sx =
+                    gx == 0 ? gap : grid_x + grid_w + gap;
+                const double sy = y0 + 0.5 + k * (stackH + 0.5);
+                r = {sx, sy, stackW, stackH};
+            } else {
+                const bool below = k % 2 == 0;
+                const double sx =
+                    x0 + 0.2 + (k / 2) * (stackW / 2 + 0.4);
+                const double sy =
+                    below ? gap : grid_y + grid_h + gap;
+                r = {sx, sy, stackW / 2, stackH};
+            }
+            fp.add(name, r, geom::RegionKind::memory);
+        }
+    }
+    return fp;
+}
+
+power::Domain
+domainForRegion(const geom::Region &region)
+{
+    const std::string &n = region.name;
+    if (n.rfind("xcd", 0) == 0)
+        return power::Domain::xcd;
+    if (n.rfind("ccd", 0) == 0)
+        return power::Domain::ccd;
+    if (n.rfind("hbm", 0) == 0)
+        return power::Domain::hbm;
+    if (n.find(".usr") != std::string::npos)
+        return power::Domain::usr;
+    if (n.find(".hbmphy") != std::string::npos)
+        return power::Domain::hbm;
+    if (n.find(".cache") != std::string::npos)
+        return power::Domain::infinityCache;
+    if (n.find(".fabric") != std::string::npos)
+        return power::Domain::fabric;
+    if (n.rfind("io", 0) == 0)
+        return power::Domain::io;
+    return power::Domain::other;
+}
+
+std::vector<double>
+regionPowerVector(const geom::Floorplan &plan,
+                  const std::vector<double> &domain_watts)
+{
+    if (domain_watts.size() != power::numDomains)
+        fatal("domain_watts must have one entry per power domain");
+
+    const auto &regions = plan.regions();
+    // Count regions per domain.
+    std::vector<unsigned> counts(power::numDomains, 0);
+    for (const auto &r : regions)
+        ++counts[static_cast<unsigned>(domainForRegion(r))];
+
+    std::vector<double> out(regions.size(), 0.0);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        const auto d =
+            static_cast<unsigned>(domainForRegion(regions[i]));
+        if (counts[d] > 0)
+            out[i] = domain_watts[d] / counts[d];
+    }
+    return out;
+}
+
+} // namespace soc
+} // namespace ehpsim

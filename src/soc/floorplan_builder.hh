@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Package floorplan construction (top view) for the thermal model.
+ *
+ * Produces a labeled, overlap-free floorplan for any ProductConfig:
+ * four-IOD products get the MI300 2x2 quad with USR-PHY strips on
+ * the inner edges and HBM-PHY strips on the outer edges (paper
+ * Figs. 6 and 12); other products get a row layout. Region names
+ * map onto power domains so governor allocations can be rasterized
+ * into the thermal grid.
+ */
+
+#ifndef EHPSIM_SOC_FLOORPLAN_BUILDER_HH
+#define EHPSIM_SOC_FLOORPLAN_BUILDER_HH
+
+#include <vector>
+
+#include "geom/floorplan.hh"
+#include "power/power_model.hh"
+#include "soc/product_config.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+/** Build the top-view floorplan for a product. */
+geom::Floorplan buildPackageFloorplan(const ProductConfig &cfg);
+
+/** Power domain a floorplan region belongs to. */
+power::Domain domainForRegion(const geom::Region &region);
+
+/**
+ * Spread per-domain watts uniformly over each domain's regions.
+ * @return watts per region, parallel to plan.regions().
+ */
+std::vector<double>
+regionPowerVector(const geom::Floorplan &plan,
+                  const std::vector<double> &domain_watts);
+
+} // namespace soc
+} // namespace ehpsim
+
+#endif // EHPSIM_SOC_FLOORPLAN_BUILDER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multi-socket shared-memory nodes (paper Sec. VIII, Fig. 18a).
+ *
+ * "Each MI300A has direct load-store access to all HBM across all
+ * four modules (i.e., flat physical address space)." A
+ * MultiSocketNode owns several Packages plus a node-level
+ * NodeTopology; the flat physical address space is split into one
+ * contiguous range per socket, and accesses to a remote socket's
+ * range cross the inter-socket Infinity Fabric links before entering
+ * the remote package's memory system. GPUs across sockets are
+ * software coherent (Sec. IV.D), which shows up as release/acquire
+ * costs at the system scope rather than hardware probes.
+ */
+
+#ifndef EHPSIM_SOC_MULTI_SOCKET_HH
+#define EHPSIM_SOC_MULTI_SOCKET_HH
+
+#include <memory>
+#include <vector>
+
+#include "soc/node_topology.hh"
+#include "soc/package.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+class MultiSocketNode : public SimObject
+{
+  public:
+    /**
+     * Build @p num_sockets packages of @p cfg, fully connected with
+     * @p x16_per_pair IF links per socket pair.
+     */
+    MultiSocketNode(SimObject *parent, const std::string &name,
+                    const ProductConfig &cfg, unsigned num_sockets,
+                    unsigned x16_per_pair);
+
+    unsigned numSockets() const
+    {
+        return static_cast<unsigned>(sockets_.size());
+    }
+
+    Package &socket(unsigned i) { return *sockets_[i]; }
+
+    NodeTopology &topology() { return *topo_; }
+
+    /** Total flat address space across all sockets. */
+    std::uint64_t totalCapacity() const;
+
+    /** Socket owning flat address @p addr. */
+    unsigned socketOf(Addr addr) const;
+
+    /**
+     * Flat load-store access from a compute die on @p from_socket:
+     * local addresses enter the local package directly; remote ones
+     * pay the inter-socket IF links in both directions.
+     * @param xcd_index Requester XCD on the originating socket.
+     */
+    mem::AccessResult accessFlat(unsigned from_socket,
+                                 unsigned xcd_index, Tick when,
+                                 Addr addr, std::uint64_t bytes,
+                                 bool write);
+
+    /**
+     * Cross-socket GPU synchronization (software coherence): the
+     * producing socket releases at system scope, a flag message
+     * crosses the IF link, the consumer acquires. @return the tick
+     * at which the consumer may proceed.
+     */
+    Tick crossSocketHandoff(Tick when, unsigned producer,
+                            unsigned consumer);
+
+    /** @{ statistics */
+    stats::Scalar local_accesses;
+    stats::Scalar remote_accesses;
+    stats::Scalar remote_bytes;
+    /** @} */
+
+  private:
+    std::vector<std::unique_ptr<Package>> sockets_;
+    std::unique_ptr<NodeTopology> topo_;
+    std::uint64_t socket_capacity_;
+};
+
+} // namespace soc
+} // namespace ehpsim
+
+#endif // EHPSIM_SOC_MULTI_SOCKET_HH

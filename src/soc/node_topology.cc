@@ -1,0 +1,164 @@
+#include "soc/node_topology.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+NodeTopology::NodeTopology(SimObject *parent, const std::string &name)
+    : SimObject(parent, name)
+{
+    net_ = std::make_unique<fabric::Network>(this, "node_fabric");
+}
+
+unsigned
+NodeTopology::addSocket(const std::string &name, unsigned num_x16_links,
+                        double x16_gbps)
+{
+    names_.push_back(name);
+    nodes_.push_back(net_->addNode(name, fabric::NodeKind::device));
+    total_links_.push_back(num_x16_links);
+    used_links_.push_back(0);
+    link_gbps_.push_back(x16_gbps);
+    return static_cast<unsigned>(names_.size() - 1);
+}
+
+unsigned
+NodeTopology::addHost(const std::string &name)
+{
+    // Hosts hang off PCIe; give them ample lanes.
+    return addSocket(name, 16, 64.0);
+}
+
+void
+NodeTopology::connect(unsigned a, unsigned b, unsigned num_x16,
+                      bool pcie)
+{
+    if (a >= numEndpoints() || b >= numEndpoints())
+        fatal("bad socket indices ", a, ", ", b);
+    if (used_links_[a] + num_x16 > total_links_[a] ||
+        used_links_[b] + num_x16 > total_links_[b]) {
+        fatal("socket out of x16 links: ", names_[a], " or ",
+              names_[b]);
+    }
+    used_links_[a] += num_x16;
+    used_links_[b] += num_x16;
+
+    fabric::LinkParams p =
+        pcie ? fabric::pcieLinkParams() : fabric::serdesIfLinkParams();
+    const double per_dir =
+        std::min(link_gbps_[a], link_gbps_[b]) * num_x16;
+    p.bandwidth = gbps(per_dir);
+    net_->connect(nodes_[a], nodes_[b], p);
+    connections_.push_back(SocketLink{a, b, num_x16, pcie});
+}
+
+unsigned
+NodeTopology::freeLinks(unsigned socket) const
+{
+    return total_links_[socket] - used_links_[socket];
+}
+
+double
+NodeTopology::p2pBandwidth(unsigned a, unsigned b) const
+{
+    // Bottleneck link along the route.
+    const auto &path = net_->path(nodes_[a], nodes_[b]);
+    double bw = 1e30;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        auto *l = const_cast<fabric::Network *>(net_.get())
+                      ->link(path[i], path[i + 1]);
+        bw = std::min(bw, l->params().bandwidth);
+    }
+    return bw;
+}
+
+Tick
+NodeTopology::p2pLatency(unsigned a, unsigned b)
+{
+    const auto &path = net_->path(nodes_[a], nodes_[b]);
+    Tick t = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        t += net_->link(path[i], path[i + 1])->params().latency;
+    return t;
+}
+
+Tick
+NodeTopology::allToAll(Tick when, std::uint64_t bytes)
+{
+    Tick done = when;
+    for (unsigned a = 0; a < numEndpoints(); ++a) {
+        for (unsigned b = 0; b < numEndpoints(); ++b) {
+            if (a == b)
+                continue;
+            const auto r = net_->send(when, nodes_[a], nodes_[b],
+                                      bytes);
+            done = std::max(done, r.arrival);
+        }
+    }
+    return done;
+}
+
+double
+NodeTopology::bisectionBandwidth() const
+{
+    // Split endpoints into two halves by index; sum direct-link
+    // bandwidth crossing the cut (a standard estimate for the
+    // fully-connected topologies of Fig. 18).
+    const unsigned half = numEndpoints() / 2;
+    double bw = 0;
+    for (const auto &c : connections_) {
+        const bool a_low = c.a < half;
+        const bool b_low = c.b < half;
+        if (a_low != b_low) {
+            const double per_dir =
+                std::min(link_gbps_[c.a], link_gbps_[c.b]) * c.num_x16;
+            bw += per_dir * 1e9;
+        }
+    }
+    return bw;
+}
+
+std::unique_ptr<NodeTopology>
+NodeTopology::mi300aQuadNode(SimObject *parent)
+{
+    auto node = std::make_unique<NodeTopology>(parent,
+                                               "mi300a_quad_node");
+    for (unsigned i = 0; i < 4; ++i)
+        node->addSocket("mi300a" + std::to_string(i), 8);
+    // Fully connected, two x16 IF links per pair: uses 6 of the 8
+    // links per socket, leaving two for NIC/storage (paper Fig. 18a).
+    for (unsigned a = 0; a < 4; ++a) {
+        for (unsigned b = a + 1; b < 4; ++b)
+            node->connect(a, b, 2, false);
+    }
+    return node;
+}
+
+std::unique_ptr<NodeTopology>
+NodeTopology::mi300xOctoNode(SimObject *parent)
+{
+    auto node = std::make_unique<NodeTopology>(parent,
+                                               "mi300x_octo_node");
+    for (unsigned i = 0; i < 8; ++i)
+        node->addSocket("mi300x" + std::to_string(i), 8);
+    const unsigned host0 = node->addHost("epyc0");
+    const unsigned host1 = node->addHost("epyc1");
+    // Fully connected among the accelerators: one x16 IF link per
+    // pair consumes 7 links per socket (paper Fig. 18b).
+    for (unsigned a = 0; a < 8; ++a) {
+        for (unsigned b = a + 1; b < 8; ++b)
+            node->connect(a, b, 1, false);
+    }
+    // The last link of each accelerator is PCIe back to a host.
+    for (unsigned a = 0; a < 8; ++a)
+        node->connect(a, a < 4 ? host0 : host1, 1, true);
+    return node;
+}
+
+} // namespace soc
+} // namespace ehpsim

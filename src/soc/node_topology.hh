@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-socket node topologies (paper Sec. VIII, Fig. 18).
+ *
+ * Each MI300 socket exposes eight x16 links (four IF-only, four
+ * IF-or-PCIe). The NodeTopology builds a node-level fabric over
+ * whole sockets:
+ *  - mi300aQuadNode(): four MI300A APUs, fully connected with two
+ *    x16 IF links per socket pair (6 links used per socket), flat
+ *    cache-coherent address space across all HBM;
+ *  - mi300xOctoNode(): eight MI300X accelerators fully connected
+ *    with one x16 IF link per pair (7 per socket) plus one PCIe
+ *    link per socket back to an EPYC host.
+ */
+
+#ifndef EHPSIM_SOC_NODE_TOPOLOGY_HH
+#define EHPSIM_SOC_NODE_TOPOLOGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/network.hh"
+#include "sim/sim_object.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+/** How a socket-to-socket connection is realized. */
+struct SocketLink
+{
+    unsigned a;
+    unsigned b;
+    unsigned num_x16;       ///< x16 links ganged between the pair
+    bool pcie;              ///< PCIe (to a host) instead of IF
+};
+
+class NodeTopology : public SimObject
+{
+  public:
+    NodeTopology(SimObject *parent, const std::string &name);
+
+    /** Add a socket (accelerator or APU). @return its index. */
+    unsigned addSocket(const std::string &name, unsigned num_x16_links,
+                       double x16_gbps = 64.0);
+
+    /** Add a host CPU. @return its index. */
+    unsigned addHost(const std::string &name);
+
+    /** Connect two endpoints with @p num_x16 ganged x16 links. */
+    void connect(unsigned a, unsigned b, unsigned num_x16,
+                 bool pcie = false);
+
+    unsigned numEndpoints() const
+    {
+        return static_cast<unsigned>(names_.size());
+    }
+
+    fabric::Network *network() { return net_.get(); }
+
+    /** x16 links still unused on an endpoint. */
+    unsigned freeLinks(unsigned socket) const;
+
+    /**
+     * Peer-to-peer bandwidth between two endpoints (bytes/s, one
+     * direction), including multi-hop routing.
+     */
+    double p2pBandwidth(unsigned a, unsigned b) const;
+
+    /** One-way latency between endpoints, ticks. */
+    Tick p2pLatency(unsigned a, unsigned b);
+
+    /**
+     * Simulate an all-to-all exchange where every socket sends
+     * @p bytes to every other socket. @return completion ticks.
+     */
+    Tick allToAll(Tick when, std::uint64_t bytes);
+
+    /** Aggregate node bisection bandwidth estimate (bytes/s). */
+    double bisectionBandwidth() const;
+
+    /** Build the Fig. 18(a) quad-APU node. */
+    static std::unique_ptr<NodeTopology>
+    mi300aQuadNode(SimObject *parent);
+
+    /** Build the Fig. 18(b) 8x MI300X + host node. */
+    static std::unique_ptr<NodeTopology>
+    mi300xOctoNode(SimObject *parent);
+
+  private:
+    std::unique_ptr<fabric::Network> net_;
+    std::vector<std::string> names_;
+    std::vector<fabric::NodeId> nodes_;
+    std::vector<unsigned> total_links_;
+    std::vector<unsigned> used_links_;
+    std::vector<double> link_gbps_;
+    std::vector<SocketLink> connections_;
+};
+
+} // namespace soc
+} // namespace ehpsim
+
+#endif // EHPSIM_SOC_NODE_TOPOLOGY_HH

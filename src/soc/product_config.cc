@@ -1,0 +1,220 @@
+#include "soc/product_config.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+unsigned
+ProductConfig::totalXcds() const
+{
+    unsigned n = 0;
+    for (const auto &i : iods)
+        n += i.num_xcds;
+    return n;
+}
+
+unsigned
+ProductConfig::totalCcds() const
+{
+    unsigned n = 0;
+    for (const auto &i : iods)
+        n += i.num_ccds;
+    return n;
+}
+
+unsigned
+ProductConfig::totalStacks() const
+{
+    unsigned n = 0;
+    for (const auto &i : iods)
+        n += i.num_hbm_stacks;
+    return n;
+}
+
+namespace
+{
+
+fabric::LinkParams
+hybridBondLinkParams()
+{
+    // 3D hybrid-bonded TSV interface between a compute die and the
+    // IOD below: 9 um pitch gives enormous density; effectively the
+    // compute die sits on the fabric.
+    fabric::LinkParams p;
+    p.kind = fabric::LinkKind::onDie;
+    p.bandwidth = tbps(3.0);
+    p.latency = 1'000;          // 1 ns
+    p.energy_pj_per_byte = 0.2;
+    return p;
+}
+
+} // anonymous namespace
+
+ProductConfig
+mi300aConfig()
+{
+    ProductConfig c;
+    c.name = "MI300A";
+    // Three IODs carry 2 XCDs each; one carries the 3 CCDs. Each
+    // IOD interfaces two HBM stacks (8 total).
+    c.iods = {
+        {2, 0, 2},
+        {2, 0, 2},
+        {2, 0, 2},
+        {0, 3, 2},
+    };
+    c.xcd = gpu::cdna3XcdParams();
+    c.ccd = cpu::zen4CcdParams();
+
+    c.hbm.num_stacks = 8;
+    c.hbm.channels_per_stack = 16;
+    c.hbm.capacity_bytes = 128ull * 1024 * 1024 * 1024;
+    c.hbm.channel = mem::hbm3ChannelParams();
+    c.hbm.enable_infinity_cache = true;
+
+    c.compute_link = hybridBondLinkParams();
+    c.iod_link = fabric::usrLinkParams();
+    c.hbm_link = fabric::interposerLinkParams();
+    // 2x2 mesh: chain edges 0-1, 1-2, 2-3 plus the closing edge.
+    c.extra_iod_edges = {{0, 3}};
+
+    c.io_links_per_iod = 2;
+    c.io_link_gbps = 64.0;
+    c.tdp_w = 550.0;
+    return c;
+}
+
+ProductConfig
+mi300xConfig()
+{
+    ProductConfig c = mi300aConfig();
+    c.name = "MI300X";
+    // Modular swap (paper Sec. VII): the CCD IOD takes 2 XCDs.
+    c.iods = {
+        {2, 0, 2},
+        {2, 0, 2},
+        {2, 0, 2},
+        {2, 0, 2},
+    };
+    // 12-high stacks: 24 GB per stack, 192 GB total.
+    c.hbm.capacity_bytes = 192ull * 1024 * 1024 * 1024;
+    c.tdp_w = 750.0;
+    return c;
+}
+
+ProductConfig
+mi250xConfig()
+{
+    ProductConfig c;
+    c.name = "MI250X";
+    // Two GCDs, each with 4 HBM2e stacks; the GCD is monolithic so
+    // there is one "compute die" per "IOD" slot and the compute link
+    // is on-die.
+    c.iods = {
+        {1, 0, 4},
+        {1, 0, 4},
+    };
+    c.xcd = gpu::cdna2GcdParams();
+
+    c.hbm.num_stacks = 8;
+    c.hbm.channels_per_stack = 8;
+    c.hbm.capacity_bytes = 128ull * 1024 * 1024 * 1024;
+    c.hbm.channel = mem::hbm2eChannelParams();
+    c.hbm.enable_infinity_cache = false;
+
+    c.compute_link = fabric::onDieLinkParams();
+    // In-package GCD-to-GCD Infinity Fabric: four links of 50 GB/s
+    // per direction (aggregate 200 GB/s each way), far below HBM.
+    c.iod_link = fabric::serdesIfLinkParams();
+    c.iod_link.bandwidth = gbps(200.0);
+    c.hbm_link = fabric::interposerLinkParams();
+    c.hbm_link.bandwidth = gbps(400.0);     // 1.6 TB/s over 4 stacks
+
+    c.io_links_per_iod = 4;
+    c.io_link_gbps = 32.0;      // MI250X-era IF links
+    c.tdp_w = 560.0;
+    return c;
+}
+
+ProductConfig
+ehpv4Config()
+{
+    ProductConfig c;
+    c.name = "EHPv4";
+    // Two GPU complexes at the package ends, the reused server IOD
+    // in the middle carrying both CCDs. HBM attaches to the GPU
+    // dies; the CPU reaches memory only through two SerDes hops
+    // (paper Fig. 4 challenge 3).
+    c.iods = {
+        {1, 0, 4},
+        {0, 2, 0},
+        {1, 0, 4},
+    };
+    c.xcd = gpu::cdna2GcdParams();
+    c.ccd = cpu::zen3CcdParams();
+
+    c.hbm.num_stacks = 8;
+    c.hbm.channels_per_stack = 8;
+    c.hbm.capacity_bytes = 128ull * 1024 * 1024 * 1024;
+    c.hbm.channel = mem::hbm2eChannelParams();
+    c.hbm.enable_infinity_cache = false;
+
+    c.compute_link = fabric::onDieLinkParams();
+    // Server-IOD SerDes IF links provisioned for DDR-class
+    // bandwidth: the EHPv4 bottleneck (paper Fig. 4 challenge 2).
+    c.iod_link = fabric::serdesIfLinkParams();
+    c.hbm_link = fabric::interposerLinkParams();
+    c.hbm_link.bandwidth = gbps(400.0);
+
+    c.io_links_per_iod = 2;
+    c.io_link_gbps = 32.0;
+    c.tdp_w = 500.0;
+    return c;
+}
+
+ProductConfig
+ehpv3Config()
+{
+    ProductConfig c;
+    c.name = "EHPv3";
+    // Two GPU active-interposer complexes (four small GPU chiplets
+    // + four HBM stacks stacked on each) around a CPU complex with
+    // four CCDs — the 2:1 GPU:CPU chiplet ratio of Sec. V.F.
+    c.iods = {
+        {4, 0, 4},
+        {0, 4, 0},
+        {4, 0, 4},
+    };
+    // EHP-era GPU chiplets: HBM-stack-sized dies (~100 mm^2) with
+    // 32 CUs each (Fig. 3b).
+    c.xcd = gpu::cdna2GcdParams();
+    c.xcd.physical_cus = 32;
+    c.xcd.active_cus = 32;
+    c.xcd.l2.size_bytes = 2 * 1024 * 1024;
+    c.ccd = cpu::zen3CcdParams();
+
+    c.hbm.num_stacks = 8;
+    c.hbm.channels_per_stack = 8;
+    c.hbm.capacity_bytes = 128ull * 1024 * 1024 * 1024;
+    c.hbm.channel = mem::hbm2eChannelParams();
+    c.hbm.enable_infinity_cache = false;
+
+    // On an active interposer the compute chiplets enjoy 3D-density
+    // connections; HBM stacks sit directly on the GPU chiplets.
+    c.compute_link = fabric::onDieLinkParams();
+    c.hbm_link = fabric::interposerLinkParams();
+    c.hbm_link.bandwidth = gbps(400.0);
+    // ...but the interposer complexes talk over organic-substrate
+    // SerDes: the EHPv3 bandwidth/power challenge (Sec. V.F).
+    c.iod_link = fabric::serdesIfLinkParams();
+    c.iod_link.bandwidth = gbps(100.0);
+
+    c.io_links_per_iod = 2;
+    c.io_link_gbps = 25.0;
+    c.tdp_w = 500.0;
+    return c;
+}
+
+} // namespace soc
+} // namespace ehpsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Product configurations: every processor the paper discusses is a
+ * configuration of the same component library.
+ *
+ *  - MI300A: 4 IODs; three carry 2 XCDs, one carries 3 CCDs; 8 HBM3
+ *    stacks (128 GB, ~5.3 TB/s); 256 MB Infinity Cache; USR links.
+ *  - MI300X: the 3 CCDs swapped for 2 more XCDs (8 XCDs / 304 CUs);
+ *    12-high HBM stacks for 192 GB.
+ *  - MI250X: two CDNA2 GCDs, each a standalone accelerator with its
+ *    own 4 HBM2e stacks; GCDs joined by in-package SerDes IF links;
+ *    no Infinity Cache.
+ *  - EHPv4: two GPU chiplets and two CCDs around a reused server
+ *    IOD; all chiplet links are 2D organic-substrate SerDes, which
+ *    is the configuration's central shortcoming (paper Sec. III.B).
+ */
+
+#ifndef EHPSIM_SOC_PRODUCT_CONFIG_HH
+#define EHPSIM_SOC_PRODUCT_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/ccd.hh"
+#include "fabric/link.hh"
+#include "gpu/xcd.hh"
+#include "mem/hbm_subsystem.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+/** What sits on (or around) one IOD. */
+struct IodConfig
+{
+    unsigned num_xcds = 0;
+    unsigned num_ccds = 0;
+    unsigned num_hbm_stacks = 2;    ///< stacks attached to this IOD
+};
+
+struct ProductConfig
+{
+    std::string name;
+    std::vector<IodConfig> iods;
+
+    gpu::XcdParams xcd = gpu::cdna3XcdParams();
+    cpu::CcdParams ccd = cpu::zen4CcdParams();
+
+    /** Global memory view (stacks/channels must match the IODs). */
+    mem::HbmSubsystemParams hbm;
+
+    /** Compute die to IOD (3D hybrid bond, or SerDes in EHPv4). */
+    fabric::LinkParams compute_link;
+    /** IOD to IOD (USR, or SerDes in MI250X/EHPv4). */
+    fabric::LinkParams iod_link;
+    /** IOD to an HBM stack (2.5D interposer). */
+    fabric::LinkParams hbm_link;
+
+    /** Extra IOD adjacencies beyond the chain 0-1, 1-2, ... e.g.
+     *  the 2x2 mesh's vertical edges. Pairs are (i, j), i < j. */
+    std::vector<std::pair<unsigned, unsigned>> extra_iod_edges;
+
+    unsigned io_links_per_iod = 2;  ///< x16 interfaces per IOD
+    double io_link_gbps = 64.0;     ///< per direction per x16
+
+    double tdp_w = 550.0;
+
+    unsigned totalXcds() const;
+    unsigned totalCcds() const;
+    unsigned totalStacks() const;
+};
+
+/** The MI300A APU (paper Sec. IV). */
+ProductConfig mi300aConfig();
+
+/** The MI300X accelerator (paper Sec. VII). */
+ProductConfig mi300xConfig();
+
+/** The MI250X accelerator (CDNA2, two GCDs). */
+ProductConfig mi250xConfig();
+
+/** The EHPv4 concept with the reused server IOD (paper Sec. III.B). */
+ProductConfig ehpv4Config();
+
+/**
+ * The EHPv3 concept (paper Sec. II.A/III.A, Fig. 1a): compute
+ * chiplets 3D-stacked on active interposers with HBM on top, but
+ * the interposer complexes joined only by organic-substrate SerDes
+ * links — the bandwidth/power challenge Sec. V.F cites.
+ */
+ProductConfig ehpv3Config();
+
+} // namespace soc
+} // namespace ehpsim
+
+#endif // EHPSIM_SOC_PRODUCT_CONFIG_HH

@@ -1,0 +1,100 @@
+#include "soc/utilization.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+power::PowerModel *
+makePowerModelFor(SimObject *parent, Package &pkg)
+{
+    using power::Domain;
+    auto *pm = new power::PowerModel(parent, "power",
+                                     pkg.config().tdp_w);
+    for (unsigned i = 0; i < pkg.numXcds(); ++i) {
+        pm->addComponent({"xcd" + std::to_string(i), Domain::xcd,
+                          8.0, 75.0});
+    }
+    for (unsigned i = 0; i < pkg.numCcds(); ++i) {
+        pm->addComponent({"ccd" + std::to_string(i), Domain::ccd,
+                          5.0, 40.0});
+    }
+    pm->addComponent({"infinity_cache", Domain::infinityCache, 8.0,
+                      45.0});
+    pm->addComponent({"fabric", Domain::fabric, 12.0, 60.0});
+    pm->addComponent({"usr", Domain::usr, 6.0, 50.0});
+    pm->addComponent({"hbm", Domain::hbm, 20.0, 110.0});
+    pm->addComponent({"io", Domain::io, 4.0, 18.0});
+    pm->addComponent({"soc_other", Domain::other, 10.0, 25.0});
+    return pm;
+}
+
+namespace
+{
+
+double
+clamp01(double v)
+{
+    return std::clamp(v, 0.0, 1.0);
+}
+
+double
+meanLinkUtil(Package &pkg, fabric::LinkKind kind)
+{
+    double sum = 0;
+    unsigned n = 0;
+    for (auto *l : pkg.network()->allLinks()) {
+        if (l->params().kind != kind)
+            continue;
+        sum += l->utilization();
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // anonymous namespace
+
+std::vector<double>
+measuredUtilization(Package &pkg, Tick span)
+{
+    if (span == 0)
+        fatal("utilization window must be nonzero");
+    std::vector<double> util;
+
+    for (unsigned i = 0; i < pkg.numXcds(); ++i)
+        util.push_back(clamp01(pkg.xcd(i)->averageCuUtilization(span)));
+    for (unsigned i = 0; i < pkg.numCcds(); ++i) {
+        util.push_back(clamp01(
+            static_cast<double>(pkg.ccd(i)->drainTime()) /
+            static_cast<double>(span)));
+    }
+
+    // Infinity Cache: bytes served vs what the slices could serve.
+    double cache_bytes = 0;
+    double hbm_bytes = 0;
+    for (unsigned c = 0; c < pkg.memMap().numChannels(); ++c) {
+        if (pkg.slice(c))
+            cache_bytes += pkg.slice(c)->bytes_served.value();
+        hbm_bytes += pkg.channel(c)->bytes_served.value();
+    }
+    const double seconds = secondsFromTicks(span);
+    util.push_back(clamp01(
+        cache_bytes / (pkg.peakCacheBandwidth() * seconds)));
+
+    util.push_back(clamp01(
+        meanLinkUtil(pkg, fabric::LinkKind::onDie)));
+    util.push_back(clamp01(meanLinkUtil(pkg, fabric::LinkKind::usr)));
+    util.push_back(clamp01(
+        hbm_bytes / (pkg.peakMemBandwidth() * seconds)));
+    util.push_back(clamp01(
+        meanLinkUtil(pkg, fabric::LinkKind::serdesIf)));
+    util.push_back(0.5);    // misc SoC overhead
+    return util;
+}
+
+} // namespace soc
+} // namespace ehpsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bridging the event engine and the power model: build a PowerModel
+ * whose components mirror a Package's composition, and extract
+ * measured per-component utilizations from a run so the Fig. 12
+ * power-shifting behaviour can be driven by simulated workloads
+ * instead of hand-written distributions.
+ */
+
+#ifndef EHPSIM_SOC_UTILIZATION_HH
+#define EHPSIM_SOC_UTILIZATION_HH
+
+#include <vector>
+
+#include "power/power_model.hh"
+#include "soc/package.hh"
+
+namespace ehpsim
+{
+namespace soc
+{
+
+/**
+ * A PowerModel with one component per XCD and CCD of @p pkg plus
+ * the shared memory/fabric/IO components, at the product's TDP.
+ * Caller owns the returned object.
+ */
+power::PowerModel *makePowerModelFor(SimObject *parent, Package &pkg);
+
+/**
+ * Measured utilization per component of makePowerModelFor()'s model,
+ * over the window [0, span]:
+ *  - XCDs: CU busy fraction;
+ *  - CCDs: core busy fraction (drain time over the span);
+ *  - Infinity Cache / HBM: achieved vs peak bandwidth;
+ *  - fabric / USR / IO: mean link utilization by kind.
+ */
+std::vector<double> measuredUtilization(Package &pkg, Tick span);
+
+} // namespace soc
+} // namespace ehpsim
+
+#endif // EHPSIM_SOC_UTILIZATION_HH

@@ -1,0 +1,263 @@
+#include "workloads/generators.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+Workload
+streamTriad(std::uint64_t n, unsigned iterations)
+{
+    Workload w;
+    w.name = "stream_triad";
+    w.footprint_bytes = 3 * n * 8;
+    for (unsigned it = 0; it < iterations; ++it) {
+        Phase p;
+        p.name = "triad" + std::to_string(it);
+        p.device = PhaseDevice::gpu;
+        p.gpu_flops = 2 * n;            // mul + add per element
+        p.dtype = gpu::DataType::fp64;
+        p.pipe = gpu::Pipe::vector;
+        p.gpu_bytes_read = 2 * n * 8;   // b and c
+        p.gpu_bytes_written = n * 8;    // a
+        p.grid_workgroups = 1024;
+        w.phases.push_back(p);
+    }
+    return w;
+}
+
+Workload
+gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+     gpu::DataType dt, gpu::Pipe pipe, bool sparse)
+{
+    Workload w;
+    w.name = "gemm";
+    const unsigned eb = gpu::dataTypeBytes(dt);
+    w.footprint_bytes = (m * k + k * n + m * n) * eb;
+
+    Phase p;
+    p.name = "gemm";
+    p.device = PhaseDevice::gpu;
+    p.gpu_flops = 2 * m * n * k;
+    p.dtype = dt;
+    p.pipe = pipe;
+    p.sparse = sparse;
+    // Tiled GEMM touches each operand a modest number of times; a
+    // well-blocked kernel approaches the compulsory traffic.
+    p.gpu_bytes_read = (m * k + k * n) * eb * 2;
+    p.gpu_bytes_written = m * n * eb;
+    p.grid_workgroups = 2048;
+    w.phases.push_back(p);
+    return w;
+}
+
+Workload
+nbody(std::uint64_t bodies, unsigned steps)
+{
+    Workload w;
+    w.name = "nbody";
+    w.footprint_bytes = bodies * 32;    // pos+vel in FP32
+    for (unsigned s = 0; s < steps; ++s) {
+        Phase p;
+        p.name = "force_step" + std::to_string(s);
+        p.device = PhaseDevice::gpu;
+        // ~20 flops per pairwise interaction (mini-nbody).
+        p.gpu_flops = 20 * bodies * bodies;
+        p.dtype = gpu::DataType::fp32;
+        p.pipe = gpu::Pipe::vector;
+        // Positions are re-read per tile; O(N) traffic per step once
+        // tiles are cached.
+        p.gpu_bytes_read = bodies * 16 * 8;
+        p.gpu_bytes_written = bodies * 16;
+        p.grid_workgroups = 1024;
+        w.phases.push_back(p);
+    }
+    return w;
+}
+
+Workload
+hpcg(std::uint64_t nx, std::uint64_t ny, std::uint64_t nz,
+     unsigned iters)
+{
+    Workload w;
+    w.name = "hpcg";
+    const std::uint64_t rows = nx * ny * nz;
+    // 27-point stencil in CSR: ~27 values + 27 indices per row.
+    const std::uint64_t matrix_bytes = rows * 27 * (8 + 4);
+    w.footprint_bytes = matrix_bytes + rows * 8 * 6;
+    for (unsigned it = 0; it < iters; ++it) {
+        Phase spmv;
+        spmv.name = "spmv" + std::to_string(it);
+        spmv.device = PhaseDevice::gpu;
+        spmv.gpu_flops = rows * 27 * 2;
+        spmv.dtype = gpu::DataType::fp64;
+        spmv.pipe = gpu::Pipe::vector;
+        spmv.gpu_bytes_read = matrix_bytes + rows * 8;
+        spmv.gpu_bytes_written = rows * 8;
+        spmv.grid_workgroups = 1024;
+        w.phases.push_back(spmv);
+
+        Phase dot;
+        dot.name = "dot_axpy" + std::to_string(it);
+        dot.device = PhaseDevice::gpu;
+        dot.gpu_flops = rows * 6;
+        dot.dtype = gpu::DataType::fp64;
+        dot.pipe = gpu::Pipe::vector;
+        dot.gpu_bytes_read = rows * 8 * 3;
+        dot.gpu_bytes_written = rows * 8;
+        dot.grid_workgroups = 512;
+        w.phases.push_back(dot);
+    }
+    return w;
+}
+
+Workload
+cfdSolver(std::uint64_t cells, unsigned steps)
+{
+    Workload w;
+    w.name = "cfd_solver";
+    // ~25 doubles of state per cell (velocity, pressure, fluxes...).
+    w.footprint_bytes = cells * 25 * 8;
+    for (unsigned s = 0; s < steps; ++s) {
+        // CPU assembles boundary conditions / matrix coefficients.
+        Phase assemble;
+        assemble.name = "cpu_assemble" + std::to_string(s);
+        assemble.device = PhaseDevice::cpu;
+        assemble.cpu_flops = cells * 40;
+        assemble.cpu_scalar_ops = cells * 60;
+        assemble.cpu_bytes_read = cells * 16;
+        assemble.cpu_bytes_written = cells * 8;
+        // The assembled coefficient field feeds the GPU solver
+        // (copied over the host link on a discrete node, free on
+        // the APU).
+        assemble.to_gpu_bytes = cells * 8;
+        w.phases.push_back(assemble);
+
+        // GPU pressure/momentum solve: memory-hungry linear algebra.
+        Phase solve;
+        solve.name = "gpu_solve" + std::to_string(s);
+        solve.device = PhaseDevice::gpuThenCpu;
+        solve.gpu_flops = cells * 600;
+        solve.dtype = gpu::DataType::fp64;
+        solve.pipe = gpu::Pipe::vector;
+        solve.gpu_bytes_read = cells * 20 * 8 * 4;  // multiple sweeps
+        solve.gpu_bytes_written = cells * 8 * 8;
+        solve.grid_workgroups = 2048;
+        // CPU post-processes residuals/monitors each step.
+        solve.cpu_flops = cells * 6;
+        solve.cpu_scalar_ops = cells * 8;
+        solve.cpu_bytes_read = cells * 8;
+        solve.cpu_bytes_written = cells / 2;
+        solve.to_cpu_bytes = cells * 4;
+        solve.fine_grained_capable = true;
+        w.phases.push_back(solve);
+    }
+    return w;
+}
+
+Workload
+gromacsLike(std::uint64_t atoms, unsigned steps)
+{
+    Workload w;
+    w.name = "gromacs_like";
+    w.footprint_bytes = atoms * 100;
+    for (unsigned s = 0; s < steps; ++s) {
+        Phase force;
+        force.name = "nb_force" + std::to_string(s);
+        force.device = PhaseDevice::gpu;
+        // Short-range nonbonded kernel: ~400 neighbors per atom,
+        // ~30 flops per pair, FP32. Neighbor positions live in
+        // LDS/L2 tiles, so DRAM traffic is near-compulsory.
+        force.gpu_flops = atoms * 400 * 30;
+        force.dtype = gpu::DataType::fp32;
+        force.pipe = gpu::Pipe::vector;
+        force.gpu_bytes_read = atoms * 256;
+        force.gpu_bytes_written = atoms * 16;
+        force.grid_workgroups = 1536;
+        w.phases.push_back(force);
+
+        Phase integrate;
+        integrate.name = "integrate" + std::to_string(s);
+        integrate.device = PhaseDevice::gpu;
+        integrate.gpu_flops = atoms * 30;
+        integrate.dtype = gpu::DataType::fp32;
+        integrate.pipe = gpu::Pipe::vector;
+        integrate.gpu_bytes_read = atoms * 48;
+        integrate.gpu_bytes_written = atoms * 32;
+        integrate.grid_workgroups = 512;
+        w.phases.push_back(integrate);
+    }
+    return w;
+}
+
+Workload
+llmPrefill(const LlmConfig &cfg)
+{
+    Workload w;
+    w.name = "llm_prefill";
+    const unsigned eb = gpu::dataTypeBytes(cfg.dtype);
+    w.footprint_bytes = cfg.params * eb;
+
+    Phase p;
+    p.name = "prefill";
+    p.device = PhaseDevice::gpu;
+    // 2 flops per parameter per token.
+    p.gpu_flops = 2ull * cfg.params * cfg.input_tokens * cfg.batch;
+    p.dtype = cfg.dtype;
+    p.pipe = gpu::Pipe::matrix;
+    // One pass over the weights plus activation traffic.
+    p.gpu_bytes_read = cfg.params * eb +
+                       static_cast<std::uint64_t>(cfg.input_tokens) *
+                           cfg.batch * 8192 * eb;
+    p.gpu_bytes_written = static_cast<std::uint64_t>(
+                              cfg.input_tokens) *
+                          cfg.batch * 8192 * eb;
+    p.grid_workgroups = 4096;
+    w.phases.push_back(p);
+    return w;
+}
+
+Workload
+llmDecode(const LlmConfig &cfg)
+{
+    Workload w;
+    w.name = "llm_decode";
+    const unsigned eb = gpu::dataTypeBytes(cfg.dtype);
+    w.footprint_bytes = cfg.params * eb;
+
+    // Every generated token streams the full weight set (batch 1):
+    // decode is bandwidth-bound (paper Sec. VII).
+    Phase p;
+    p.name = "decode";
+    p.device = PhaseDevice::gpu;
+    p.gpu_flops =
+        2ull * cfg.params * cfg.output_tokens * cfg.batch;
+    p.dtype = cfg.dtype;
+    p.pipe = gpu::Pipe::matrix;
+    p.gpu_bytes_read =
+        static_cast<std::uint64_t>(cfg.output_tokens) * cfg.params *
+        eb;
+    p.gpu_bytes_written = static_cast<std::uint64_t>(
+                              cfg.output_tokens) *
+                          cfg.batch * 8192 * eb;
+    p.grid_workgroups = 4096;
+    w.phases.push_back(p);
+    return w;
+}
+
+Workload
+llmInference(const LlmConfig &cfg)
+{
+    Workload w;
+    w.name = "llm_inference";
+    Workload pre = llmPrefill(cfg);
+    Workload dec = llmDecode(cfg);
+    w.footprint_bytes = pre.footprint_bytes;
+    w.phases = pre.phases;
+    w.phases.insert(w.phases.end(), dec.phases.begin(),
+                    dec.phases.end());
+    return w;
+}
+
+} // namespace workloads
+} // namespace ehpsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic workload generators standing in for the paper's
+ * applications (see DESIGN.md's substitution table).
+ *
+ *  - streamTriad: pure bandwidth (fabric/memory benches);
+ *  - gemm: dense matrix multiply, compute-bound at large sizes;
+ *  - nbody: the mini-nbody kernel, O(N^2) compute-bound (Fig. 20);
+ *  - hpcg: memory-bound sparse CG iterations (Fig. 20);
+ *  - cfdSolver: OpenFOAM-like coupled solver — compute-intense,
+ *    bandwidth-hungry, with per-iteration CPU<->GPU exchange, the
+ *    case where the APU shines (Fig. 20's 2.75x);
+ *  - llmPrefill / llmDecode: LLM inference phases (Fig. 21);
+ *  - gromacsLike: mixed short-range force kernel (Fig. 20).
+ */
+
+#ifndef EHPSIM_WORKLOADS_GENERATORS_HH
+#define EHPSIM_WORKLOADS_GENERATORS_HH
+
+#include "workloads/workload.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+/** STREAM triad over @p n doubles: a[i] = b[i] + s*c[i]. */
+Workload streamTriad(std::uint64_t n, unsigned iterations = 1);
+
+/** Dense C = A*B, m x k x n. */
+Workload gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+              gpu::DataType dt = gpu::DataType::fp32,
+              gpu::Pipe pipe = gpu::Pipe::matrix, bool sparse = false);
+
+/** mini-nbody: @p bodies bodies, @p steps steps, FP32 vector. */
+Workload nbody(std::uint64_t bodies, unsigned steps = 1);
+
+/** HPCG-like CG: nx*ny*nz grid, 27-point stencil, @p iters. */
+Workload hpcg(std::uint64_t nx, std::uint64_t ny, std::uint64_t nz,
+              unsigned iters = 10);
+
+/**
+ * OpenFOAM-like coupled CFD solver on @p cells cells for @p steps:
+ * each step is GPU linear algebra plus CPU-side setup/reduction that
+ * exchanges fields with the GPU.
+ */
+Workload cfdSolver(std::uint64_t cells, unsigned steps = 5);
+
+/** GROMACS-like MD step: force kernel + neighbor bookkeeping. */
+Workload gromacsLike(std::uint64_t atoms, unsigned steps = 5);
+
+/** LLM inference configuration (paper Fig. 21's setup). */
+struct LlmConfig
+{
+    std::uint64_t params = 70ull * 1000 * 1000 * 1000;  ///< 70 B
+    unsigned batch = 1;
+    unsigned input_tokens = 2048;
+    unsigned output_tokens = 128;
+    gpu::DataType dtype = gpu::DataType::fp16;
+};
+
+/** The prompt phase: one big compute-bound pass over the context. */
+Workload llmPrefill(const LlmConfig &cfg);
+
+/** Token generation: weight-streaming, bandwidth-bound. */
+Workload llmDecode(const LlmConfig &cfg);
+
+/** Full inference: prefill then decode. */
+Workload llmInference(const LlmConfig &cfg);
+
+} // namespace workloads
+} // namespace ehpsim
+
+#endif // EHPSIM_WORKLOADS_GENERATORS_HH

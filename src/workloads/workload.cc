@@ -1,0 +1,36 @@
+#include "workloads/workload.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+std::uint64_t
+Workload::totalGpuFlops() const
+{
+    std::uint64_t f = 0;
+    for (const auto &p : phases)
+        f += p.gpu_flops;
+    return f;
+}
+
+std::uint64_t
+Workload::totalGpuBytes() const
+{
+    std::uint64_t b = 0;
+    for (const auto &p : phases)
+        b += p.gpu_bytes_read + p.gpu_bytes_written;
+    return b;
+}
+
+std::uint64_t
+Workload::totalTransferBytes() const
+{
+    std::uint64_t b = 0;
+    for (const auto &p : phases)
+        b += p.to_gpu_bytes + p.to_cpu_bytes;
+    return b;
+}
+
+} // namespace workloads
+} // namespace ehpsim

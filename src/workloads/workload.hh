@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The workload intermediate representation shared by both execution
+ * engines.
+ *
+ * A Workload is a sequence of Phases. Each phase names the device(s)
+ * it runs on, its math (flops, data type, pipe) and memory footprint,
+ * and — critically for the paper's unified-memory story — how much
+ * data must cross between CPU and GPU around the phase. On an APU
+ * that coupling is free (the data never moves); on a discrete node
+ * it becomes explicit hipMemcpy traffic over PCIe (paper Fig. 14).
+ */
+
+#ifndef EHPSIM_WORKLOADS_WORKLOAD_HH
+#define EHPSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/cdna.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+enum class PhaseDevice
+{
+    cpu,
+    gpu,
+    gpuThenCpu,     ///< GPU produces, CPU post-processes (Fig. 15)
+};
+
+struct Phase
+{
+    std::string name;
+    PhaseDevice device = PhaseDevice::gpu;
+
+    /** @{ GPU side */
+    std::uint64_t gpu_flops = 0;
+    gpu::DataType dtype = gpu::DataType::fp64;
+    gpu::Pipe pipe = gpu::Pipe::vector;
+    bool sparse = false;
+    std::uint64_t gpu_bytes_read = 0;
+    std::uint64_t gpu_bytes_written = 0;
+    /** Suggested workgroup decomposition for the event engine. */
+    std::uint64_t grid_workgroups = 512;
+    /** @} */
+
+    /** @{ CPU side */
+    std::uint64_t cpu_flops = 0;
+    std::uint64_t cpu_scalar_ops = 0;
+    std::uint64_t cpu_bytes_read = 0;
+    std::uint64_t cpu_bytes_written = 0;
+    /** @} */
+
+    /** @{ CPU <-> GPU coupling (copied on discrete systems only) */
+    std::uint64_t to_gpu_bytes = 0;   ///< host-to-device before phase
+    std::uint64_t to_cpu_bytes = 0;   ///< device-to-host after phase
+    /** @} */
+
+    /**
+     * The GPU output can be consumed element-wise by the CPU via
+     * completion flags in coherent memory (paper Fig. 15); only
+     * meaningful for gpuThenCpu phases.
+     */
+    bool fine_grained_capable = false;
+};
+
+struct Workload
+{
+    std::string name;
+    std::vector<Phase> phases;
+
+    /** Resident data footprint (for capacity checks). */
+    std::uint64_t footprint_bytes = 0;
+
+    std::uint64_t totalGpuFlops() const;
+    std::uint64_t totalGpuBytes() const;
+    std::uint64_t totalTransferBytes() const;
+};
+
+} // namespace workloads
+} // namespace ehpsim
+
+#endif // EHPSIM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the CDNA rate tables (paper Table 1), compute units, and
+ * the XCD.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/cdna.hh"
+#include "gpu/compute_unit.hh"
+#include "gpu/xcd.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::gpu;
+
+namespace
+{
+
+class FlatMemory : public mem::MemDevice
+{
+  public:
+    FlatMemory(SimObject *parent, Tick latency)
+        : mem::MemDevice(parent, "flat"), latency_(latency)
+    {}
+
+    mem::AccessResult
+    access(Tick when, Addr, std::uint64_t, bool) override
+    {
+        return {when + latency_, true, 0};
+    }
+
+  private:
+    Tick latency_;
+};
+
+/** One row of paper Table 1. */
+struct RateRow
+{
+    Pipe pipe;
+    DataType dt;
+    std::uint64_t cdna2;
+    std::uint64_t cdna3;
+};
+
+const RateRow table1[] = {
+    {Pipe::vector, DataType::fp64, 128, 128},
+    {Pipe::vector, DataType::fp32, 128, 256},
+    {Pipe::matrix, DataType::fp64, 256, 256},
+    {Pipe::matrix, DataType::fp32, 256, 256},
+    {Pipe::matrix, DataType::tf32, 0, 1024},
+    {Pipe::matrix, DataType::fp16, 1024, 2048},
+    {Pipe::matrix, DataType::bf16, 1024, 2048},
+    {Pipe::matrix, DataType::fp8, 0, 4096},
+    {Pipe::matrix, DataType::int8, 1024, 4096},
+};
+
+} // anonymous namespace
+
+class Table1Rates : public ::testing::TestWithParam<RateRow>
+{
+};
+
+TEST_P(Table1Rates, MatchesPaperTable1)
+{
+    const RateRow &row = GetParam();
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna2, row.pipe, row.dt),
+              row.cdna2);
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna3, row.pipe, row.dt),
+              row.cdna3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1Rates,
+                         ::testing::ValuesIn(table1));
+
+TEST(CdnaRates, SparsityDoublesLowPrecisionMatrix)
+{
+    // Paper: 4:2 sparsity reaches 8192 ops/clk/CU for FP8 and INT8.
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna3, Pipe::matrix,
+                               DataType::fp8, true),
+              8192u);
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna3, Pipe::matrix,
+                               DataType::int8, true),
+              8192u);
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna3, Pipe::matrix,
+                               DataType::fp16, true),
+              4096u);
+    // No sparsity uplift on CDNA2 or on FP64.
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna2, Pipe::matrix,
+                               DataType::int8, true),
+              1024u);
+    EXPECT_EQ(opsPerClockPerCu(CdnaGen::cdna3, Pipe::matrix,
+                               DataType::fp64, true),
+              256u);
+}
+
+TEST(CdnaRates, DataTypeSizes)
+{
+    EXPECT_EQ(dataTypeBytes(DataType::fp64), 8u);
+    EXPECT_EQ(dataTypeBytes(DataType::fp32), 4u);
+    EXPECT_EQ(dataTypeBytes(DataType::tf32), 4u);
+    EXPECT_EQ(dataTypeBytes(DataType::fp16), 2u);
+    EXPECT_EQ(dataTypeBytes(DataType::bf16), 2u);
+    EXPECT_EQ(dataTypeBytes(DataType::fp8), 1u);
+    EXPECT_EQ(dataTypeBytes(DataType::int8), 1u);
+}
+
+TEST(ComputeUnit, ComputeBoundWorkgroupTiming)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 100);
+    ComputeUnit cu(&root, "cu", cdna3CuParams(), &memory, nullptr);
+
+    WorkgroupWork work;
+    work.flops = 256 * 1000;        // 1000 cycles of FP32 vector
+    work.dtype = DataType::fp32;
+    work.pipe = Pipe::vector;
+    work.inst_bytes = 0;
+    const Tick done = cu.runWorkgroup(0, work);
+    // 1000 cycles at 1.7 GHz ~ 588 ns.
+    EXPECT_NEAR(static_cast<double>(done), 1000.0 * 588.2, 3000.0);
+}
+
+TEST(ComputeUnit, PeakFlopsScaleWithRate)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 100);
+    ComputeUnit cu(&root, "cu", cdna3CuParams(), &memory, nullptr);
+    const double fp32 = cu.peakFlops(Pipe::vector, DataType::fp32);
+    const double fp64 = cu.peakFlops(Pipe::vector, DataType::fp64);
+    EXPECT_DOUBLE_EQ(fp32 / fp64, 2.0);
+    EXPECT_NEAR(cu.peakFlops(Pipe::matrix, DataType::fp8) / 1e12,
+                4096 * 1.7e9 / 1e12, 0.01);
+}
+
+TEST(ComputeUnit, UnsupportedTypeFatal)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 100);
+    CuParams p = cdna2CuParams();
+    ComputeUnit cu(&root, "cu", p, &memory, nullptr);
+    WorkgroupWork work;
+    work.flops = 100;
+    work.dtype = DataType::fp8;     // CDNA2 has no FP8
+    work.pipe = Pipe::matrix;
+    EXPECT_THROW(cu.runWorkgroup(0, work), std::runtime_error);
+}
+
+TEST(ComputeUnit, MemoryBoundWorkgroup)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory slow(&root, 1'000'000);
+    ComputeUnit cu(&root, "cu", cdna3CuParams(), &slow, nullptr);
+    WorkgroupWork work;
+    work.flops = 100;
+    work.bytes_read = 64 * 1024;    // forces L1 misses
+    work.inst_bytes = 0;
+    const Tick done = cu.runWorkgroup(0, work);
+    EXPECT_GT(done, 1'000'000u);
+    EXPECT_GT(cu.memory_ticks.value(), cu.compute_ticks.value());
+}
+
+TEST(ComputeUnit, WorkgroupsSerializeOnOneCu)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 100);
+    ComputeUnit cu(&root, "cu", cdna3CuParams(), &memory, nullptr);
+    WorkgroupWork work;
+    work.flops = 256 * 1000;
+    work.dtype = DataType::fp32;
+    work.inst_bytes = 0;
+    const Tick t1 = cu.runWorkgroup(0, work);
+    const Tick t2 = cu.runWorkgroup(0, work);
+    EXPECT_GT(t2, t1);
+    EXPECT_DOUBLE_EQ(cu.workgroups.value(), 2.0);
+}
+
+TEST(Xcd, HarvestingEnables38Of40)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    XcdParams p = cdna3XcdParams();
+    EXPECT_EQ(p.physical_cus, 40u);
+    Xcd xcd(&root, "xcd", p, &memory);
+    EXPECT_EQ(xcd.numActiveCus(), 38u);
+}
+
+TEST(Xcd, OverHarvestingFatal)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    XcdParams p = cdna3XcdParams();
+    p.active_cus = 41;
+    EXPECT_THROW(Xcd(&root, "xcd", p, &memory), std::runtime_error);
+}
+
+TEST(Xcd, PeakFlopsScaleWithActiveCus)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    Xcd xcd(&root, "xcd", cdna3XcdParams(), &memory);
+    // 38 CUs x 256 FP32 x 1.7 GHz.
+    EXPECT_NEAR(xcd.peakFlops(Pipe::vector, DataType::fp32) / 1e12,
+                38.0 * 256 * 1.7e9 / 1e12, 0.01);
+}
+
+TEST(Xcd, DispatchSpreadsAcrossCus)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    Xcd xcd(&root, "xcd", cdna3XcdParams(), &memory);
+    WorkgroupWork work;
+    work.flops = 256 * 10000;
+    work.dtype = DataType::fp32;
+    work.inst_bytes = 0;
+
+    // 38 equal workgroups: each CU should take exactly one, so the
+    // drain time is about one workgroup's duration.
+    Tick done = 0;
+    for (int i = 0; i < 38; ++i)
+        done = std::max(done, xcd.dispatchWorkgroup(0, work));
+    Xcd xcd2(&root, "xcd2", cdna3XcdParams(), &memory);
+    const Tick one = xcd2.dispatchWorkgroup(0, work);
+    EXPECT_LT(static_cast<double>(done), 1.7 * one);
+    EXPECT_DOUBLE_EQ(xcd.workgroups_dispatched.value(), 38.0);
+}
+
+TEST(Xcd, AceThroughputBoundsLaunchRate)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    XcdParams p = cdna3XcdParams();
+    p.dispatch_cycles = 1000;       // deliberately slow ACEs
+    Xcd xcd(&root, "xcd", p, &memory);
+    WorkgroupWork tiny;
+    tiny.flops = 256;
+    tiny.dtype = DataType::fp32;
+    tiny.inst_bytes = 0;
+    Tick done = 0;
+    for (int i = 0; i < 400; ++i)
+        done = std::max(done, xcd.dispatchWorkgroup(0, tiny));
+    // 400 launches / 4 ACEs x 1000 cycles ~ 100k cycles minimum.
+    const Tick period = periodFromGHz(p.cu.clock_ghz);
+    EXPECT_GT(done, 90'000 * period);
+    EXPECT_GT(xcd.ace_stall_ticks.value(), 0.0);
+}
+
+TEST(Xcd, SharedICachePairs)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    Xcd xcd(&root, "xcd", cdna3XcdParams(), &memory);
+    // 38 CUs -> 19 instruction caches; the l1 list has 38 entries.
+    EXPECT_EQ(xcd.l1Caches().size(), 38u);
+}
+
+TEST(Xcd, Cdna2GcdProfile)
+{
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 1000);
+    Xcd gcd(&root, "gcd", cdna2GcdParams(), &memory);
+    EXPECT_EQ(gcd.numActiveCus(), 110u);
+    EXPECT_EQ(gcd.params().cu.gen, CdnaGen::cdna2);
+}

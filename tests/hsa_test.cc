@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for HSA queues and the cooperative multi-XCD dispatch
+ * protocol (paper Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hsa/partition.hh"
+#include "hsa/queue.hh"
+#include "hsa/shim.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::hsa;
+
+namespace
+{
+
+class FlatMemory : public mem::MemDevice
+{
+  public:
+    FlatMemory(SimObject *parent, Tick latency)
+        : mem::MemDevice(parent, "flat"), latency_(latency)
+    {}
+
+    mem::AccessResult
+    access(Tick when, Addr, std::uint64_t, bool) override
+    {
+        return {when + latency_, true, 0};
+    }
+
+  private:
+    Tick latency_;
+};
+
+/** Two-XCD partition over a tiny fabric, like one MI300A IOD pair. */
+struct PartitionFixture
+{
+    SimObject root{nullptr, "root"};
+    FlatMemory memory{&root, 10'000};
+    fabric::Network net{&root, "net"};
+    fabric::NodeId iod0, iod1, x0, x1;
+    std::unique_ptr<gpu::Xcd> xcd0, xcd1;
+    coherence::ScopeController scopes{&root, "scopes"};
+    std::unique_ptr<Partition> part;
+
+    PartitionFixture()
+    {
+        iod0 = net.addNode("iod0", fabric::NodeKind::iod);
+        iod1 = net.addNode("iod1", fabric::NodeKind::iod);
+        net.connect(iod0, iod1, fabric::usrLinkParams());
+        x0 = net.addNode("x0", fabric::NodeKind::xcd);
+        x1 = net.addNode("x1", fabric::NodeKind::xcd);
+        net.connect(x0, iod0, fabric::onDieLinkParams());
+        net.connect(x1, iod1, fabric::onDieLinkParams());
+
+        gpu::XcdParams xp = gpu::cdna3XcdParams();
+        xcd0 = std::make_unique<gpu::Xcd>(&root, "xcd0", xp, &memory);
+        xcd1 = std::make_unique<gpu::Xcd>(&root, "xcd1", xp, &memory);
+        scopes.addXcdCaches(xcd0->l1Caches(), xcd0->l2());
+        scopes.addXcdCaches(xcd1->l1Caches(), xcd1->l2());
+        part = std::make_unique<Partition>(
+            &root, "part",
+            std::vector<gpu::Xcd *>{xcd0.get(), xcd1.get()}, &scopes,
+            &net, std::vector<fabric::NodeId>{x0, x1}, iod0);
+    }
+
+    AqlPacket
+    makePacket(std::uint64_t grid, Signal *sig = nullptr)
+    {
+        AqlPacket pkt;
+        pkt.grid_workgroups = grid;
+        pkt.work.flops = 256 * 1000;
+        pkt.work.dtype = gpu::DataType::fp32;
+        pkt.work.pipe = gpu::Pipe::vector;
+        pkt.work.inst_bytes = 0;
+        pkt.completion = sig;
+        return pkt;
+    }
+};
+
+} // anonymous namespace
+
+TEST(UserQueue, RingSemantics)
+{
+    SimObject root(nullptr, "root");
+    UserQueue q(&root, "q", 4);
+    AqlPacket pkt;
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.submit(pkt));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.submit(pkt));            // overrun rejected
+    EXPECT_DOUBLE_EQ(q.packets_dropped.value(), 1.0);
+    EXPECT_EQ(q.doorbell(), 4u);
+
+    EXPECT_TRUE(q.pop().has_value());
+    EXPECT_TRUE(q.submit(pkt));             // space again
+    int drained = 0;
+    while (q.pop())
+        ++drained;
+    EXPECT_EQ(drained, 4);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(UserQueue, IndicesMonotonic)
+{
+    SimObject root(nullptr, "root");
+    UserQueue q(&root, "q", 2);
+    AqlPacket pkt;
+    for (int i = 0; i < 10; ++i) {
+        q.submit(pkt);
+        q.pop();
+    }
+    EXPECT_EQ(q.writeIndex(), 10u);
+    EXPECT_EQ(q.readIndex(), 10u);
+}
+
+TEST(Partition, DispatchUsesAllXcds)
+{
+    PartitionFixture f;
+    Signal sig;
+    const auto pkt = f.makePacket(76, &sig);   // 2 x 38 workgroups
+    const auto res = f.part->dispatch(0, pkt);
+    EXPECT_EQ(res.workgroups, 76u);
+    EXPECT_EQ(res.per_xcd_workgroups.size(), 2u);
+    EXPECT_EQ(res.per_xcd_workgroups[0], 38u);
+    EXPECT_EQ(res.per_xcd_workgroups[1], 38u);
+    EXPECT_TRUE(sig.done());
+    EXPECT_EQ(sig.completed_at, res.complete);
+}
+
+TEST(Partition, SyncMessagesAreNminus1HighPriority)
+{
+    PartitionFixture f;
+    const auto res = f.part->dispatch(0, f.makePacket(16));
+    EXPECT_EQ(res.sync_messages, 1u);       // 2 XCDs -> 1 message
+    // The message used the high-priority channel on some link.
+    double hp = 0;
+    for (auto *l : f.net.allLinks())
+        hp += l->hp_transfers.value();
+    EXPECT_GE(hp, 1.0);
+}
+
+TEST(Partition, BlockedPolicyAssignsContiguous)
+{
+    PartitionFixture f;
+    f.part->setPolicy(DistributionPolicy::blocked);
+    const auto res = f.part->dispatch(0, f.makePacket(10));
+    EXPECT_EQ(res.per_xcd_workgroups[0], 5u);
+    EXPECT_EQ(res.per_xcd_workgroups[1], 5u);
+}
+
+TEST(Partition, RoundRobinBalancesOddGrids)
+{
+    PartitionFixture f;
+    const auto res = f.part->dispatch(0, f.makePacket(7));
+    EXPECT_EQ(res.per_xcd_workgroups[0], 4u);
+    EXPECT_EQ(res.per_xcd_workgroups[1], 3u);
+}
+
+TEST(Partition, MultiXcdFasterThanSingle)
+{
+    PartitionFixture both;
+    const auto two = both.part->dispatch(0, both.makePacket(152));
+
+    PartitionFixture single;
+    Partition solo(&single.root, "solo", {single.xcd0.get()},
+                   &single.scopes, &single.net, {single.x0},
+                   single.iod0, {0});
+    const auto one = solo.dispatch(0, single.makePacket(152));
+    EXPECT_LT(two.complete, one.complete);
+}
+
+TEST(Partition, ProcessQueueHonorsBarriers)
+{
+    PartitionFixture f;
+    UserQueue q(&f.root, "q", 16);
+    Signal s1, s2;
+    auto p1 = f.makePacket(8, &s1);
+    p1.barrier = true;
+    auto p2 = f.makePacket(8, &s2);
+    q.submit(p1);
+    q.submit(p2);
+    const Tick done = f.part->processQueue(0, q);
+    EXPECT_TRUE(s1.done());
+    EXPECT_TRUE(s2.done());
+    // With the barrier, packet 2 started after packet 1 completed.
+    EXPECT_GT(s2.completed_at, s1.completed_at);
+    EXPECT_EQ(done, s2.completed_at);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Partition, PeakFlopsSumsXcds)
+{
+    PartitionFixture f;
+    const double one =
+        f.xcd0->peakFlops(gpu::Pipe::vector, gpu::DataType::fp32);
+    EXPECT_DOUBLE_EQ(
+        f.part->peakFlops(gpu::Pipe::vector, gpu::DataType::fp32),
+        2 * one);
+    EXPECT_EQ(f.part->totalCus(), 76u);
+}
+
+TEST(Partition, EmptyPartitionFatal)
+{
+    SimObject root(nullptr, "root");
+    EXPECT_THROW(Partition(&root, "p", {}, nullptr),
+                 std::runtime_error);
+}
+
+TEST(LibraryShim, SmallProblemsStayOnCpu)
+{
+    // MI300A-ish rates.
+    LibraryShim shim(1.4e12, 5.3e12, 60e12, 4.5e12, 5e-6);
+    const auto small = shim.decide(1'000'000, 1'000'000);
+    EXPECT_EQ(small.target, ShimTarget::cpu);
+    const auto big = shim.decide(1ull << 40, 1ull << 34);
+    EXPECT_EQ(big.target, ShimTarget::gpu);
+}
+
+TEST(Partition, BarrierAndWaitsForSignals)
+{
+    PartitionFixture f;
+    Signal s1, s2, done;
+    const auto r1 = f.part->dispatch(0, f.makePacket(8, &s1));
+    const auto r2 = f.part->dispatch(0, f.makePacket(8, &s2));
+
+    AqlPacket barrier;
+    barrier.type = PacketType::barrierAnd;
+    barrier.wait_signals = {&s1, &s2};
+    barrier.completion = &done;
+    const auto rb = f.part->dispatch(0, barrier);
+    EXPECT_EQ(rb.complete, std::max(r1.complete, r2.complete));
+    EXPECT_TRUE(done.done());
+    EXPECT_EQ(rb.workgroups, 0u);
+}
+
+TEST(Partition, BarrierAndOnPendingSignalFatal)
+{
+    PartitionFixture f;
+    Signal pending;     // never decremented
+    AqlPacket barrier;
+    barrier.type = PacketType::barrierAnd;
+    barrier.wait_signals = {&pending};
+    EXPECT_THROW(f.part->dispatch(0, barrier), std::runtime_error);
+}
+
+TEST(Partition, BarrierAndIgnoresNullSignals)
+{
+    PartitionFixture f;
+    AqlPacket barrier;
+    barrier.type = PacketType::barrierAnd;
+    barrier.wait_signals = {nullptr};
+    const auto rb = f.part->dispatch(1234, barrier);
+    EXPECT_EQ(rb.complete, 1234u);
+}
+
+TEST(LibraryShim, CrossoverIsMonotonic)
+{
+    LibraryShim shim(1.4e12, 5.3e12, 60e12, 4.5e12, 5e-6);
+    const auto cross = shim.crossoverFlops(10.0);
+    EXPECT_GT(cross, 1000u);
+    // Just below the crossover: CPU; just above: GPU.
+    const auto below = shim.decide(
+        cross - 1, static_cast<std::uint64_t>((cross - 1) / 10.0));
+    const auto above = shim.decide(
+        cross + 1, static_cast<std::uint64_t>((cross + 1) / 10.0));
+    EXPECT_EQ(below.target, ShimTarget::cpu);
+    EXPECT_EQ(above.target, ShimTarget::gpu);
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cross-module integration tests: full MI300A event-driven runs,
+ * engine cross-validation, partitioning behaviour, and the
+ * EHPv4-vs-MI300A comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apu_system.hh"
+#include "core/machine_model.hh"
+#include "core/roofline.hh"
+#include "sim/logging.hh"
+#include "workloads/generators.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::core;
+using namespace ehpsim::workloads;
+
+namespace
+{
+
+/** A triad sized to run quickly in the event engine. */
+Workload
+smallTriad()
+{
+    auto w = streamTriad(1 << 19);      // 4 MiB arrays
+    w.phases[0].grid_workgroups = 512;
+    return w;
+}
+
+} // anonymous namespace
+
+TEST(Integration, Mi300aRunsTriadEndToEnd)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    const auto rep = sys.run(smallTriad());
+    ASSERT_EQ(rep.phases.size(), 1u);
+    EXPECT_GT(rep.total_s, 0.0);
+
+    // The run must have moved at least the compulsory bytes through
+    // the HBM channels.
+    double channel_bytes = 0;
+    for (unsigned c = 0; c < 128; ++c)
+        channel_bytes += sys.package().channel(c)->bytes_served.value();
+    EXPECT_GT(channel_bytes, 3.0 * (1 << 19) * 8 * 0.5);
+}
+
+TEST(Integration, EventBandwidthWithinPhysicalLimits)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    const auto w = smallTriad();
+    const auto rep = sys.run(w);
+    const double bytes = static_cast<double>(w.totalGpuBytes());
+    const double achieved = bytes / rep.total_s;
+    // Sanity bounds: below the cache peak, above a trivial floor.
+    EXPECT_LT(achieved, 17.5e12);
+    EXPECT_GT(achieved, 0.05e12);
+}
+
+TEST(Integration, EventAndRooflineAgreeOnOrdering)
+{
+    // Both engines must agree that MI300A finishes the same
+    // memory-bound workload faster than MI250X.
+    auto w = streamTriad(1 << 19);
+    w.phases[0].grid_workgroups = 512;
+
+    ApuSystem a(soc::mi300aConfig());
+    ApuSystem b(soc::mi250xConfig());
+    const auto ra = a.run(w);
+    const auto rb = b.run(w);
+    EXPECT_LT(ra.total_s, rb.total_s);
+
+    const auto fa = RooflineEngine(mi300aModel()).run(w);
+    const auto fb = RooflineEngine(mi250xNodeModel()).run(w);
+    EXPECT_LT(fa.total_s, fb.total_s);
+}
+
+TEST(Integration, EnginesAgreeWithinBand)
+{
+    // The event engine includes caches, dispatch, and fabric; the
+    // roofline is idealized. They should land within a small factor
+    // on a bandwidth-bound kernel.
+    auto w = streamTriad(1 << 20);
+    w.phases[0].grid_workgroups = 1024;
+    ApuSystem sys(soc::mi300aConfig());
+    const auto ev = sys.run(w);
+    auto m = mi300aModel();
+    const auto rf = RooflineEngine(m).run(w);
+    EXPECT_LT(ev.total_s / rf.total_s, 10.0);
+    EXPECT_GT(ev.total_s / rf.total_s, 0.3);
+}
+
+TEST(Integration, PartitionedRunStillCompletes)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    auto w = smallTriad();
+    const auto rep3 = sys.run(w, 3);
+    EXPECT_GT(rep3.total_s, 0.0);
+    // All six XCDs saw work even in 3-partition mode.
+    for (unsigned x = 0; x < 6; ++x) {
+        EXPECT_GT(
+            sys.package().xcd(x)->workgroups_dispatched.value(), 0.0)
+            << "xcd " << x;
+    }
+}
+
+TEST(Integration, Mi300xSupportsEightPartitions)
+{
+    ApuSystem sys(soc::mi300xConfig());
+    auto w = smallTriad();
+    const auto rep = sys.run(w, 8);
+    EXPECT_GT(rep.total_s, 0.0);
+    for (unsigned x = 0; x < 8; ++x) {
+        EXPECT_GT(
+            sys.package().xcd(x)->workgroups_dispatched.value(), 0.0);
+    }
+}
+
+TEST(Integration, Nps4ModeRuns)
+{
+    ApuSystem sys(soc::mi300xConfig(), mem::NumaMode::nps4);
+    const auto rep = sys.run(smallTriad());
+    EXPECT_GT(rep.total_s, 0.0);
+}
+
+TEST(Integration, CpuPhasesRunOnCcds)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    auto w = cfdSolver(100'000, 1);
+    for (auto &p : w.phases)
+        p.grid_workgroups = 256;
+    const auto rep = sys.run(w);
+    EXPECT_GT(rep.cpuSeconds(), 0.0);
+    EXPECT_GT(rep.gpuSeconds(), 0.0);
+}
+
+TEST(Integration, FineGrainedOverlapShortensCoupledPhases)
+{
+    auto w = cfdSolver(200'000, 2);
+    for (auto &p : w.phases)
+        p.grid_workgroups = 256;
+    ApuSystem fine(soc::mi300aConfig());
+    ApuSystem coarse(soc::mi300aConfig());
+    const auto rf = fine.run(w, 1,
+                             hsa::DistributionPolicy::roundRobin,
+                             true);
+    const auto rc = coarse.run(w, 1,
+                               hsa::DistributionPolicy::roundRobin,
+                               false);
+    EXPECT_LE(rf.total_s, rc.total_s);
+}
+
+TEST(Integration, DistributionPolicyChangesPlacement)
+{
+    ApuSystem rr(soc::mi300aConfig());
+    ApuSystem blk(soc::mi300aConfig());
+    auto w = smallTriad();
+    rr.run(w, 1, hsa::DistributionPolicy::roundRobin);
+    blk.run(w, 1, hsa::DistributionPolicy::blocked);
+    // Both complete and both used every XCD (512 wgs over 6 XCDs).
+    for (unsigned x = 0; x < 6; ++x) {
+        EXPECT_GT(rr.package().xcd(x)->workgroups_dispatched.value(),
+                  0.0);
+        EXPECT_GT(blk.package().xcd(x)->workgroups_dispatched.value(),
+                  0.0);
+    }
+}
+
+TEST(Integration, InfinityCacheCapturesReuse)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    // Re-run the same small working set: second pass should hit.
+    auto w = streamTriad(1 << 17, 4);   // 1 MiB arrays, 4 passes
+    for (auto &p : w.phases)
+        p.grid_workgroups = 256;
+    sys.run(w);
+    EXPECT_GT(sys.package().cacheHitRate(), 0.2);
+}
+
+TEST(Integration, UsrLinksCarryCrossIodTraffic)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    sys.run(smallTriad());
+    auto *net = sys.package().network();
+    double usr_bytes = 0;
+    for (auto *l : net->allLinks()) {
+        if (l->params().kind == fabric::LinkKind::usr)
+            usr_bytes += l->bytes_moved.value();
+    }
+    // Interleaving guarantees most accesses cross IODs.
+    EXPECT_GT(usr_bytes, 1e6);
+}
+
+TEST(Integration, WarnOnCpuWorkWithoutCcds)
+{
+    logging_detail::setQuiet(true);
+    const auto before = logging_detail::warnCount();
+    ApuSystem sys(soc::mi300xConfig());     // no CCDs
+    auto w = cfdSolver(50'000, 1);
+    for (auto &p : w.phases)
+        p.grid_workgroups = 128;
+    sys.run(w);
+    EXPECT_GT(logging_detail::warnCount(), before);
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for multi-socket flat-address nodes (Fig. 18a semantics),
+ * the multi-queue hardware scheduler, and energy reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apu_system.hh"
+#include "soc/multi_socket.hh"
+#include "workloads/generators.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::soc;
+
+namespace
+{
+
+std::unique_ptr<MultiSocketNode>
+makeQuad(SimObject *root)
+{
+    // Four MI300A sockets, two x16 IF links per pair (Fig. 18a).
+    return std::make_unique<MultiSocketNode>(
+        root, "quad", mi300aConfig(), 4, 2);
+}
+
+} // anonymous namespace
+
+TEST(MultiSocket, FlatAddressSpaceSpansSockets)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeQuad(&root);
+    EXPECT_EQ(node->numSockets(), 4u);
+    EXPECT_EQ(node->totalCapacity(), 4 * (128ull << 30));
+    EXPECT_EQ(node->socketOf(0), 0u);
+    EXPECT_EQ(node->socketOf(128ull << 30), 1u);
+    EXPECT_EQ(node->socketOf((4ull << 37) - 1), 3u);
+    EXPECT_THROW(node->socketOf(4 * (128ull << 30)),
+                 std::runtime_error);
+}
+
+TEST(MultiSocket, LocalAccessAvoidsIfLinks)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeQuad(&root);
+    node->accessFlat(0, 0, 0, 0x10000, 256, false);
+    EXPECT_DOUBLE_EQ(node->local_accesses.value(), 1.0);
+    EXPECT_DOUBLE_EQ(node->remote_accesses.value(), 0.0);
+}
+
+TEST(MultiSocket, RemoteAccessPaysTheLink)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeQuad(&root);
+    const auto local =
+        node->accessFlat(0, 0, 0, 0x10000, 256, false);
+    const Addr remote_addr = (128ull << 30) + 0x10000;
+    const auto remote =
+        node->accessFlat(0, 0, 0, remote_addr, 256, false);
+    EXPECT_GT(remote.complete, local.complete);
+    EXPECT_DOUBLE_EQ(node->remote_accesses.value(), 1.0);
+    // The IF link latency alone separates the two.
+    EXPECT_GT(remote.complete - local.complete, 50'000u);
+}
+
+TEST(MultiSocket, RemoteBandwidthBoundedByIfLinks)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeQuad(&root);
+    // Stream 8 MB from socket 0 to socket 1's memory.
+    const Addr base = 128ull << 30;
+    Tick worst = 0;
+    for (Addr a = 0; a < (8u << 20); a += 256) {
+        const auto r =
+            node->accessFlat(0, 0, 0, base + a, 256, false);
+        worst = std::max(worst, r.complete);
+    }
+    const double bw =
+        (8.0 * (1 << 20)) / secondsFromTicks(worst);
+    // Two x16 links per pair: 128 GB/s per direction ceiling.
+    EXPECT_LT(bw, 130e9);
+    EXPECT_GT(bw, 40e9);
+}
+
+TEST(MultiSocket, WriteCarriesPayloadOutbound)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeQuad(&root);
+    const Addr remote_addr = (128ull << 30) + 0x4000;
+    node->accessFlat(0, 0, 0, remote_addr, 4096, true);
+    EXPECT_DOUBLE_EQ(node->remote_bytes.value(), 4096.0);
+}
+
+TEST(MultiSocket, CrossSocketHandoffOrdersAfterRelease)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeQuad(&root);
+    // Dirty some producer-side caches so the release has work.
+    auto &prod = node->socket(0);
+    prod.xcd(0)->l2()->access(0, 0x1000, 4096, true);
+    const Tick ready = node->crossSocketHandoff(1000, 0, 1);
+    EXPECT_GT(ready, 1000u);
+    // The producer's L2 was flushed by the system-scope release.
+    EXPECT_EQ(prod.xcd(0)->l2()->array().numValid(), 0u);
+}
+
+TEST(MultiSocket, NeedsAtLeastTwoSockets)
+{
+    SimObject root(nullptr, "root");
+    EXPECT_THROW(MultiSocketNode(&root, "solo", mi300aConfig(), 1, 2),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Multi-queue scheduling
+// ---------------------------------------------------------------------
+
+TEST(MultiQueue, IndependentQueuesInterleave)
+{
+    core::ApuSystem sys(mi300aConfig());
+    auto *part = sys.package().unifiedPartition();
+    hsa::UserQueue q0(&sys.package(), "q0", 8);
+    hsa::UserQueue q1(&sys.package(), "q1", 8);
+
+    hsa::Signal s0a, s0b, s1a;
+    hsa::AqlPacket pkt;
+    pkt.grid_workgroups = 12;
+    pkt.work.flops = 256 * 4000;
+    pkt.work.dtype = gpu::DataType::fp32;
+    pkt.work.pipe = gpu::Pipe::vector;
+    pkt.completion = &s0a;
+    q0.submit(pkt);
+    pkt.completion = &s0b;
+    q0.submit(pkt);
+    pkt.completion = &s1a;
+    q1.submit(pkt);
+
+    const Tick done = part->processQueues(0, {&q0, &q1});
+    EXPECT_TRUE(s0a.done());
+    EXPECT_TRUE(s0b.done());
+    EXPECT_TRUE(s1a.done());
+    // Queue 0's second packet waited for its first (barrier)...
+    EXPECT_GT(s0b.completed_at, s0a.completed_at);
+    // ...but queue 1's packet did not wait for queue 0's chain.
+    EXPECT_LT(s1a.completed_at, s0b.completed_at);
+    EXPECT_EQ(done, std::max(s0b.completed_at, s1a.completed_at));
+    EXPECT_TRUE(q0.empty());
+    EXPECT_TRUE(q1.empty());
+}
+
+TEST(MultiQueue, EmptyQueueListReturnsWhen)
+{
+    core::ApuSystem sys(mi300aConfig());
+    auto *part = sys.package().unifiedPartition();
+    EXPECT_EQ(part->processQueues(777, {}), 777u);
+}
+
+// ---------------------------------------------------------------------
+// Energy reporting
+// ---------------------------------------------------------------------
+
+TEST(Energy, EventRunReportsEnergy)
+{
+    core::ApuSystem sys(mi300aConfig());
+    auto w = workloads::streamTriad(1 << 18);
+    w.phases[0].grid_workgroups = 256;
+    const auto rep = sys.run(w);
+    EXPECT_GT(rep.fabric_energy_j, 0.0);
+    EXPECT_GT(rep.hbm_energy_j, 0.0);
+    EXPECT_GT(rep.compute_energy_j, 0.0);
+    EXPECT_GT(rep.averagePowerWatts(), 0.0);
+    // A memory-bound kernel's HBM energy dwarfs its math energy.
+    EXPECT_GT(rep.hbm_energy_j, rep.compute_energy_j);
+}
+
+TEST(Energy, EnergyScalesWithWork)
+{
+    core::ApuSystem sys(mi300aConfig());
+    auto small = workloads::streamTriad(1 << 17);
+    small.phases[0].grid_workgroups = 128;
+    auto large = workloads::streamTriad(1 << 19);
+    large.phases[0].grid_workgroups = 512;
+    const auto rs = sys.run(small);
+    const auto rl = sys.run(large);
+    EXPECT_GT(rl.totalEnergyJoules(),
+              2.0 * rs.totalEnergyJoules());
+}

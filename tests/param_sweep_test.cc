@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Cross-cutting parameterized sweeps: cache geometries, interleave
+ * geometries, DRAM rates, governor budgets, thermal grid
+ * resolutions, and random fabric topologies. These pin down the
+ * *shape* of each model over its parameter space, not just one
+ * configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "fabric/network.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/interleave.hh"
+#include "power/governor.hh"
+#include "power/thermal.hh"
+#include "sim/rng.hh"
+
+using namespace ehpsim;
+
+namespace
+{
+
+class FlatMemory : public mem::MemDevice
+{
+  public:
+    FlatMemory(SimObject *parent, Tick latency)
+        : mem::MemDevice(parent, "flat"), latency_(latency)
+    {}
+
+    mem::AccessResult
+    access(Tick when, Addr, std::uint64_t, bool) override
+    {
+        ++count;
+        return {when + latency_, true, 0};
+    }
+
+    std::uint64_t count = 0;
+
+  private:
+    Tick latency_;
+};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Cache geometry sweep
+// ---------------------------------------------------------------------
+
+using CacheGeom = std::tuple<std::uint64_t, unsigned, unsigned>;
+
+class CacheGeometry : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheGeometry, WorkingSetBehaviour)
+{
+    const auto [size, assoc, line] = GetParam();
+    SimObject root(nullptr, "root");
+    FlatMemory memory(&root, 100'000);
+    mem::CacheParams cp;
+    cp.size_bytes = size;
+    cp.assoc = assoc;
+    cp.line_bytes = line;
+    mem::Cache cache(&root, "c", cp, &memory);
+
+    // A working set at half capacity, touched twice: the second
+    // pass must hit entirely under LRU.
+    const std::uint64_t ws = size / 2;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < ws; a += line)
+            cache.access(0, a, line, false);
+    }
+    const double expected_misses = static_cast<double>(ws / line);
+    EXPECT_DOUBLE_EQ(cache.misses.value(), expected_misses);
+    EXPECT_DOUBLE_EQ(cache.hits.value(), expected_misses);
+    EXPECT_TRUE(cache.array().tagsUnique());
+
+    // A working set at 4x capacity streams: hit rate collapses.
+    mem::Cache big(&root, "b", cp, &memory);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < 4 * size; a += line)
+            big.access(0, a, line, false);
+    }
+    EXPECT_LT(big.hitRate(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(CacheGeom{16 * 1024, 4, 64},
+                      CacheGeom{32 * 1024, 8, 128},
+                      CacheGeom{256 * 1024, 8, 64},
+                      CacheGeom{2 * 1024 * 1024, 16, 128},
+                      CacheGeom{32 * 1024 * 1024, 16, 64}));
+
+// ---------------------------------------------------------------------
+// Interleave geometry sweep
+// ---------------------------------------------------------------------
+
+using IlvGeom = std::tuple<unsigned, unsigned>;
+
+class InterleaveGeometry : public ::testing::TestWithParam<IlvGeom>
+{
+};
+
+TEST_P(InterleaveGeometry, BijectiveAndBalanced)
+{
+    const auto [stacks, cps] = GetParam();
+    mem::InterleaveMap map(stacks, cps, 1ull << 30);
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.nextBounded(1ull << 30);
+        const auto loc = map.locate(a);
+        EXPECT_EQ(map.addressOf(loc.channel, loc.local), a);
+    }
+    // Balance over pages.
+    std::vector<unsigned> per_stack(stacks, 0);
+    for (Addr p = 0; p < 4096; ++p)
+        ++per_stack[map.stackOf(p * 4096)];
+    for (unsigned s = 0; s < stacks; ++s)
+        EXPECT_NEAR(per_stack[s], 4096.0 / stacks,
+                    4096.0 / stacks * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, InterleaveGeometry,
+    ::testing::Values(IlvGeom{2, 8}, IlvGeom{4, 8}, IlvGeom{4, 16},
+                      IlvGeom{8, 8}, IlvGeom{8, 16},
+                      IlvGeom{16, 8}));
+
+// ---------------------------------------------------------------------
+// DRAM rate sweep
+// ---------------------------------------------------------------------
+
+class DramRate : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramRate, StreamTracksConfiguredBandwidth)
+{
+    const double gb = GetParam();
+    SimObject root(nullptr, "root");
+    mem::DramParams p = mem::hbm3ChannelParams();
+    p.bandwidth = gbps(gb);
+    mem::DramChannel ch(&root, "ch", p);
+    Tick t = 0;
+    for (Addr a = 0; a < (2u << 20); a += 256)
+        t = std::max(t, ch.access(0, a, 256, false).complete);
+    const double achieved = ch.achievedBandwidth(t) / 1e9;
+    EXPECT_GT(achieved, 0.6 * gb);
+    EXPECT_LE(achieved, 1.05 * gb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DramRate,
+                         ::testing::Values(12.8, 25.6, 41.4, 50.3,
+                                           64.0));
+
+// ---------------------------------------------------------------------
+// Governor budget sweep
+// ---------------------------------------------------------------------
+
+class GovernorBudget : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GovernorBudget, AllocationRespectsAnyTdp)
+{
+    const double tdp = GetParam();
+    SimObject root(nullptr, "root");
+    power::PowerModel model(&root, "pm", tdp);
+    for (int i = 0; i < 6; ++i) {
+        model.addComponent({"xcd" + std::to_string(i),
+                            power::Domain::xcd, 5.0, 75.0});
+    }
+    model.addComponent({"hbm", power::Domain::hbm, 15.0, 110.0});
+    power::PowerGovernor gov(&root, "gov", &model);
+    std::vector<double> util(model.components().size(), 1.0);
+    const auto alloc = gov.allocate(util);
+    EXPECT_LE(alloc.total, tdp + 1e-6);
+    EXPECT_GE(alloc.total, model.idlePower() - 1e-6);
+    // Higher TDP, higher (or equal) grant.
+    if (tdp >= model.maxPower())
+        EXPECT_NEAR(alloc.total, model.maxPower(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GovernorBudget,
+                         ::testing::Values(100.0, 250.0, 400.0,
+                                           550.0, 800.0));
+
+// ---------------------------------------------------------------------
+// Thermal resolution sweep
+// ---------------------------------------------------------------------
+
+class ThermalResolution : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThermalResolution, SolutionConvergesAcrossResolutions)
+{
+    const unsigned n = GetParam();
+    SimObject root(nullptr, "root");
+    geom::Floorplan plan({0, 0, 20, 20});
+    plan.add("hot", {4, 4, 8, 8}, geom::RegionKind::compute);
+    power::ThermalParams tp;
+    tp.nx = n;
+    tp.ny = n;
+    tp.tolerance = 1e-6;
+    // Scale conductances with cell count so the physical problem is
+    // resolution independent.
+    const double cells = static_cast<double>(n) * n;
+    tp.k_vertical = 24.0 / cells;
+    tp.k_lateral = 0.05 * (64.0 / n);
+    power::ThermalGrid grid(&root, "t", &plan, tp);
+    grid.solve({100.0});
+    // The hot-region mean temperature is resolution stable.
+    const double t_hot = grid.regionTemperature("hot");
+    EXPECT_GT(t_hot, 45.0);
+    EXPECT_LT(t_hot, 85.0);
+    EXPECT_LT(grid.conservationError(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, ThermalResolution,
+                         ::testing::Values(16u, 32u, 64u, 96u));
+
+// ---------------------------------------------------------------------
+// Random fabric topologies
+// ---------------------------------------------------------------------
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomTopology, ConnectedGraphsRouteEverywhere)
+{
+    SimObject root(nullptr, "root");
+    fabric::Network net(&root, "net");
+    Rng rng(GetParam());
+    const unsigned n = 12;
+    std::vector<fabric::NodeId> nodes;
+    for (unsigned i = 0; i < n; ++i) {
+        nodes.push_back(net.addNode("n" + std::to_string(i),
+                                    fabric::NodeKind::iod));
+    }
+    // Random spanning tree first (guarantees connectivity)...
+    std::set<std::pair<unsigned, unsigned>> edges;
+    for (unsigned i = 1; i < n; ++i) {
+        const unsigned parent = rng.nextBounded(i);
+        edges.insert({parent, i});
+        net.connect(nodes[i], nodes[parent],
+                    fabric::usrLinkParams());
+    }
+    // ...plus a few random extra edges.
+    for (int e = 0; e < 6; ++e) {
+        const unsigned a = rng.nextBounded(n);
+        const unsigned b = rng.nextBounded(n);
+        if (a == b)
+            continue;
+        const auto key = std::minmax(a, b);
+        if (!edges.insert({key.first, key.second}).second)
+            continue;
+        net.connect(nodes[a], nodes[b],
+                    fabric::serdesIfLinkParams());
+    }
+    // Every pair routes, and hop counts are symmetric.
+    for (unsigned a = 0; a < n; ++a) {
+        for (unsigned b = 0; b < n; ++b) {
+            const unsigned h = net.hopCount(nodes[a], nodes[b]);
+            EXPECT_EQ(h, net.hopCount(nodes[b], nodes[a]));
+            if (a == b)
+                EXPECT_EQ(h, 0u);
+            else
+                EXPECT_GE(h, 1u);
+        }
+    }
+    // Messages arrive and pay at least per-hop latency.
+    const auto res = net.send(0, nodes[0], nodes[n - 1], 64);
+    EXPECT_GE(res.arrival,
+              res.hops * 5'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology,
+                         ::testing::Values(3, 14, 159, 2653));

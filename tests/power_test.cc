@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the power model, the shifting governor (paper Fig. 12a),
+ * and the thermal grid solver (Fig. 12b/c).
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/floorplan.hh"
+#include "power/governor.hh"
+#include "power/power_model.hh"
+#include "power/thermal.hh"
+#include "sim/rng.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::power;
+
+TEST(PowerDistribution, ScenariosNormalized)
+{
+    EXPECT_NEAR(computeIntensiveDistribution().total(), 1.0, 1e-9);
+    EXPECT_NEAR(memoryIntensiveDistribution().total(), 1.0, 1e-9);
+}
+
+TEST(PowerDistribution, ComputeVsMemoryShift)
+{
+    const auto c = computeIntensiveDistribution();
+    const auto m = memoryIntensiveDistribution();
+    const auto idx = [](Domain d) { return static_cast<unsigned>(d); };
+    // Fig. 12a: compute-intensive puts the majority into the XCDs;
+    // memory-intensive shifts power to HBM, cache, fabric, USR.
+    EXPECT_GT(c.share[idx(Domain::xcd)], 0.5);
+    EXPECT_GT(m.share[idx(Domain::hbm)], c.share[idx(Domain::hbm)]);
+    EXPECT_GT(m.share[idx(Domain::usr)], c.share[idx(Domain::usr)]);
+    EXPECT_GT(m.share[idx(Domain::fabric)],
+              c.share[idx(Domain::fabric)]);
+    EXPECT_LT(m.share[idx(Domain::xcd)], c.share[idx(Domain::xcd)]);
+}
+
+TEST(PowerModel, Mi300aEnvelope)
+{
+    SimObject root(nullptr, "root");
+    auto *pm = PowerModel::makeMi300a(&root);
+    EXPECT_DOUBLE_EQ(pm->tdp(), 550.0);
+    EXPECT_LT(pm->idlePower(), pm->tdp());
+    // The governor exists because peak exceeds TDP.
+    EXPECT_GT(pm->maxPower(), pm->tdp());
+    delete pm;
+}
+
+TEST(PowerModel, ComponentPowerClamps)
+{
+    Component c{"x", Domain::xcd, 5.0, 50.0};
+    EXPECT_DOUBLE_EQ(c.powerAt(-1.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.powerAt(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.powerAt(0.5), 27.5);
+    EXPECT_DOUBLE_EQ(c.powerAt(2.0), 50.0);
+}
+
+namespace
+{
+
+struct GovernorFixture
+{
+    SimObject root{nullptr, "root"};
+    PowerModel *model = PowerModel::makeMi300a(&root);
+    PowerGovernor gov{&root, "gov", model};
+
+    ~GovernorFixture() { delete model; }
+};
+
+} // anonymous namespace
+
+TEST(Governor, UncontendedDemandGranted)
+{
+    GovernorFixture f;
+    std::vector<double> util(f.model->components().size(), 0.1);
+    const auto alloc = f.gov.allocate(util);
+    EXPECT_FALSE(alloc.throttled);
+    EXPECT_LE(alloc.total, f.model->tdp() + 1e-9);
+    for (std::size_t i = 0; i < util.size(); ++i) {
+        EXPECT_NEAR(alloc.watts[i],
+                    f.model->components()[i].powerAt(0.1), 1e-9);
+    }
+}
+
+TEST(Governor, FullDemandThrottlesWithinBudget)
+{
+    GovernorFixture f;
+    std::vector<double> util(f.model->components().size(), 1.0);
+    const auto alloc = f.gov.allocate(util);
+    EXPECT_TRUE(alloc.throttled);
+    EXPECT_NEAR(alloc.total, f.model->tdp(), 0.5);
+    EXPECT_GT(f.gov.throttle_events.value(), 0.0);
+}
+
+class GovernorRandom : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GovernorRandom, InvariantsUnderRandomDemand)
+{
+    GovernorFixture f;
+    Rng rng(GetParam());
+    const auto &comps = f.model->components();
+    for (int round = 0; round < 200; ++round) {
+        std::vector<double> util(comps.size());
+        for (auto &u : util)
+            u = rng.nextDouble();
+        const auto alloc = f.gov.allocate(util);
+        // Budget invariant.
+        EXPECT_LE(alloc.total, f.model->tdp() + 1e-6);
+        double sum = 0;
+        for (std::size_t i = 0; i < comps.size(); ++i) {
+            // Floor and ceiling invariants.
+            EXPECT_GE(alloc.watts[i], comps[i].idle_w - 1e-9);
+            EXPECT_LE(alloc.watts[i], comps[i].peak_w + 1e-9);
+            // Never granted more than demanded.
+            EXPECT_LE(alloc.watts[i],
+                      comps[i].powerAt(util[i]) + 1e-6);
+            sum += alloc.watts[i];
+        }
+        // Conservation: total equals the sum of the parts.
+        EXPECT_NEAR(sum, alloc.total, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernorRandom,
+                         ::testing::Values(11, 22, 33));
+
+TEST(Governor, ShiftsPowerBetweenScenarios)
+{
+    GovernorFixture f;
+    const auto compute =
+        f.gov.allocateForDistribution(computeIntensiveDistribution());
+    const auto memory =
+        f.gov.allocateForDistribution(memoryIntensiveDistribution());
+    const auto cd = compute.perDomain(*f.model);
+    const auto md = memory.perDomain(*f.model);
+    const auto idx = [](Domain d) { return static_cast<unsigned>(d); };
+    // The vertical power shift of Sec. V.D/V.E.
+    EXPECT_GT(cd[idx(Domain::xcd)], md[idx(Domain::xcd)]);
+    EXPECT_GT(md[idx(Domain::hbm)], cd[idx(Domain::hbm)]);
+    EXPECT_GT(md[idx(Domain::usr)], cd[idx(Domain::usr)]);
+    EXPECT_LE(compute.total, f.model->tdp() + 1e-6);
+    EXPECT_LE(memory.total, f.model->tdp() + 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Thermal
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+geom::Floorplan
+twoRegionPlan()
+{
+    geom::Floorplan fp({0, 0, 20, 20});
+    fp.add("hot", {2, 2, 6, 6}, geom::RegionKind::compute);
+    fp.add("cold", {12, 12, 6, 6}, geom::RegionKind::cache);
+    return fp;
+}
+
+} // anonymous namespace
+
+TEST(Thermal, NoPowerStaysAmbient)
+{
+    SimObject root(nullptr, "root");
+    auto plan = twoRegionPlan();
+    ThermalGrid grid(&root, "thermal", &plan);
+    grid.solve({0.0, 0.0});
+    EXPECT_NEAR(grid.maxTemperature(), 35.0, 1e-6);
+}
+
+TEST(Thermal, HotspotFollowsPower)
+{
+    SimObject root(nullptr, "root");
+    auto plan = twoRegionPlan();
+    ThermalGrid grid(&root, "thermal", &plan);
+    grid.solve({100.0, 5.0});
+    EXPECT_EQ(grid.hottestRegion(), "hot");
+    EXPECT_GT(grid.regionTemperature("hot"),
+              grid.regionTemperature("cold") + 5.0);
+    grid.solve({5.0, 100.0});
+    EXPECT_EQ(grid.hottestRegion(), "cold");
+}
+
+TEST(Thermal, EnergyConservationAtSteadyState)
+{
+    SimObject root(nullptr, "root");
+    auto plan = twoRegionPlan();
+    ThermalParams tp;
+    tp.tolerance = 1e-7;
+    ThermalGrid grid(&root, "thermal", &plan, tp);
+    grid.solve({80.0, 40.0});
+    EXPECT_LT(grid.conservationError(), 0.02);
+}
+
+TEST(Thermal, MorePowerMeansHigherTemperature)
+{
+    SimObject root(nullptr, "root");
+    auto plan = twoRegionPlan();
+    ThermalGrid grid(&root, "thermal", &plan);
+    grid.solve({50.0, 0.0});
+    const double t50 = grid.maxTemperature();
+    grid.solve({100.0, 0.0});
+    const double t100 = grid.maxTemperature();
+    EXPECT_GT(t100, t50);
+    // Linear system: doubling power doubles the rise.
+    EXPECT_NEAR((t100 - 35.0) / (t50 - 35.0), 2.0, 0.05);
+}
+
+TEST(Thermal, RegionWattsMustParallelRegions)
+{
+    SimObject root(nullptr, "root");
+    auto plan = twoRegionPlan();
+    ThermalGrid grid(&root, "thermal", &plan);
+    EXPECT_THROW(grid.solve({1.0}), std::runtime_error);
+}
+
+TEST(Thermal, AsciiHeatMapRenders)
+{
+    SimObject root(nullptr, "root");
+    auto plan = twoRegionPlan();
+    ThermalGrid grid(&root, "thermal", &plan);
+    grid.solve({100.0, 0.0});
+    const std::string map = grid.asciiHeatMap(20, 10);
+    EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 10);
+    // Something hot must be visible.
+    EXPECT_NE(map.find_first_of(":-=+*#%@"), std::string::npos);
+}

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel, RNG, statistics, and
+ * unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/units.hh"
+
+using namespace ehpsim;
+
+namespace
+{
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> *log, int id,
+                   int priority = Event::defaultPriority)
+        : Event(priority), log_(log), id_(id)
+    {}
+
+    void process() override { log_->push_back(id_); }
+
+  private:
+    std::vector<int> *log_;
+    int id_;
+};
+
+} // anonymous namespace
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    eq.schedule(&b, 200);
+    eq.schedule(&a, 100);
+    eq.schedule(&c, 300);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+    EXPECT_EQ(eq.numProcessed(), 3u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent lo(&log, 1, Event::minimumPriority);
+    RecordingEvent hi(&log, 2, Event::maximumPriority);
+    RecordingEvent mid1(&log, 3);
+    RecordingEvent mid2(&log, 4);
+    eq.schedule(&lo, 50);
+    eq.schedule(&mid1, 50);
+    eq.schedule(&mid2, 50);
+    eq.schedule(&hi, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 4, 1}));
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 500);
+    const Tick stopped = eq.run(250);
+    EXPECT_EQ(stopped, 250u);
+    EXPECT_EQ(log, std::vector<int>{1});
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, std::vector<int>{2});
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.reschedule(&a, 300);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, LambdaEventsSelfDelete)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleLambda(10, [&] { ++count; });
+    eq.scheduleLambda(20, [&] { ++count; });
+    eq.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleLambda(eq.curTick() + 10, chain);
+    };
+    eq.scheduleLambda(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.curTick(), 40u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.scheduleLambda(100, [] {});
+    eq.run();
+    std::vector<int> log;
+    RecordingEvent a(&log, 1);
+    EXPECT_DEATH(eq.schedule(&a, 50), "past");
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(3);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Scalar s(&root, "count", "a counter");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Average a(&root, "lat", "latency");
+    a.sample(10);
+    a.sample(30);
+    a.sample(20);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Distribution d(&root, "dist", "sizes");
+    d.init(0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(-1);
+    d.sample(100);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.count(), 5u);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Scalar hits(&root, "hits", "");
+    stats::Scalar misses(&root, "misses", "");
+    stats::Formula rate(&root, "hit_rate", "", [&] {
+        const double a = hits.value() + misses.value();
+        return a > 0 ? hits.value() / a : 0.0;
+    });
+    hits += 3;
+    misses += 1;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+}
+
+TEST(Stats, GroupPathsNestAndDump)
+{
+    stats::StatGroup root(nullptr, "system");
+    stats::StatGroup child(&root, "cache");
+    stats::Scalar s(&child, "hits", "demand hits");
+    s += 2;
+    EXPECT_EQ(child.statPath(), "system.cache");
+    std::ostringstream oss;
+    root.dumpStats(oss);
+    EXPECT_NE(oss.str().find("system.cache.hits 2"), std::string::npos);
+}
+
+TEST(Stats, ResetRecurses)
+{
+    stats::StatGroup root(nullptr, "r");
+    stats::StatGroup child(&root, "c");
+    stats::Scalar s(&child, "v", "");
+    s += 9;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, FindStatByName)
+{
+    stats::StatGroup root(nullptr, "r");
+    stats::Scalar s(&root, "v", "");
+    EXPECT_EQ(root.findStat("v"), &s);
+    EXPECT_EQ(root.findStat("w"), nullptr);
+}
+
+TEST(SimObject, InheritsEventQueueFromParent)
+{
+    EventQueue eq;
+    SimObject parent(nullptr, "top", &eq);
+    SimObject child(&parent, "child");
+    EXPECT_EQ(child.eventq(), &eq);
+    EXPECT_EQ(child.statPath(), "top.child");
+}
+
+TEST(Units, TickConversions)
+{
+    EXPECT_EQ(periodFromGHz(1.0), 1000u);
+    EXPECT_EQ(periodFromGHz(2.0), 500u);
+    EXPECT_EQ(ticksFromSeconds(1e-6), 1'000'000u);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(ticksPerSecond), 1.0);
+}
+
+TEST(Units, SerializationTicks)
+{
+    // 1 GB/s -> 1 byte per ns = 1000 ticks.
+    EXPECT_EQ(serializationTicks(1, gbps(1.0)), 1000u);
+    EXPECT_EQ(serializationTicks(0, gbps(1.0)), 0u);
+    EXPECT_EQ(serializationTicks(100, 0.0), 0u);
+}
+
+TEST(Units, Formatting)
+{
+    EXPECT_EQ(formatBytes(128ull * GiB), "128 GiB");
+    EXPECT_EQ(formatBytes(2 * MiB), "2 MiB");
+    EXPECT_EQ(formatBytes(100), "100 B");
+    EXPECT_EQ(formatBandwidth(tbps(5.3)), "5.30 TB/s");
+    EXPECT_EQ(formatBandwidth(gbps(64.0)), "64.00 GB/s");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad config value ", 42), std::runtime_error);
+}
+
+TEST(Logging, WarnCounts)
+{
+    logging_detail::setQuiet(true);
+    const auto before = logging_detail::warnCount();
+    warn("something odd: ", 1);
+    EXPECT_EQ(logging_detail::warnCount(), before + 1);
+}

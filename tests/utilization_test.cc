@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for workload-measured utilization extraction and its
+ * coupling to the power governor (Fig. 12 driven by real runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apu_system.hh"
+#include "power/governor.hh"
+#include "soc/utilization.hh"
+#include "workloads/generators.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::soc;
+
+TEST(Utilization, ModelMirrorsPackageComposition)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300aConfig());
+    auto *pm = makePowerModelFor(&root, sys.package());
+    // 6 XCDs + 3 CCDs + 6 shared components.
+    EXPECT_EQ(pm->components().size(), 6u + 3u + 6u);
+    EXPECT_DOUBLE_EQ(pm->tdp(), 550.0);
+    delete pm;
+}
+
+TEST(Utilization, VectorParallelsModel)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300aConfig());
+    auto w = workloads::streamTriad(1 << 17);
+    w.phases[0].grid_workgroups = 128;
+    const auto rep = sys.run(w);
+    auto *pm = makePowerModelFor(&root, sys.package());
+    const auto util = measuredUtilization(
+        sys.package(), ticksFromSeconds(rep.total_s));
+    EXPECT_EQ(util.size(), pm->components().size());
+    for (double u : util) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    delete pm;
+}
+
+TEST(Utilization, IdlePackageReportsLowUtilization)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300aConfig());
+    const auto util =
+        measuredUtilization(sys.package(), ticksFromSeconds(1e-3));
+    // Nothing ran: XCD/CCD/memory utilizations are zero.
+    for (unsigned i = 0; i < 9; ++i)
+        EXPECT_DOUBLE_EQ(util[i], 0.0);
+}
+
+TEST(Utilization, MemoryBoundRunLoadsHbmMoreThanCompute)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300aConfig());
+    auto w = workloads::streamTriad(1 << 19);
+    w.phases[0].grid_workgroups = 512;
+    const auto rep = sys.run(w);
+    const auto util = measuredUtilization(
+        sys.package(), ticksFromSeconds(rep.total_s));
+    const unsigned hbm_idx = 6 + 3 + 3;     // after xcds+ccds+cache+fabric+usr
+    const double hbm = util[hbm_idx];
+    EXPECT_GT(hbm, 0.3);
+}
+
+TEST(Utilization, GovernorAcceptsMeasuredVector)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300aConfig());
+    auto w = workloads::streamTriad(1 << 17);
+    w.phases[0].grid_workgroups = 128;
+    const auto rep = sys.run(w);
+    auto *pm = makePowerModelFor(&root, sys.package());
+    power::PowerGovernor gov(&root, "gov", pm);
+    const auto alloc = gov.allocate(measuredUtilization(
+        sys.package(), ticksFromSeconds(rep.total_s)));
+    EXPECT_LE(alloc.total, pm->tdp() + 1e-6);
+    EXPECT_GE(alloc.total, pm->idlePower() - 1e-6);
+    delete pm;
+}
+
+TEST(Utilization, ZeroSpanFatal)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300aConfig());
+    EXPECT_THROW(measuredUtilization(sys.package(), 0),
+                 std::runtime_error);
+}
+
+TEST(Utilization, WorksForMi300xToo)
+{
+    SimObject root(nullptr, "root");
+    core::ApuSystem sys(mi300xConfig());
+    auto *pm = makePowerModelFor(&root, sys.package());
+    EXPECT_EQ(pm->components().size(), 8u + 0u + 6u);
+    auto w = workloads::streamTriad(1 << 17);
+    w.phases[0].grid_workgroups = 128;
+    const auto rep = sys.run(w);
+    const auto util = measuredUtilization(
+        sys.package(), ticksFromSeconds(rep.total_s));
+    EXPECT_EQ(util.size(), pm->components().size());
+    delete pm;
+}
