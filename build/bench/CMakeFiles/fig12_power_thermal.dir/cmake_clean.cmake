@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_power_thermal.dir/fig12_power_thermal.cc.o"
+  "CMakeFiles/fig12_power_thermal.dir/fig12_power_thermal.cc.o.d"
+  "fig12_power_thermal"
+  "fig12_power_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_power_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

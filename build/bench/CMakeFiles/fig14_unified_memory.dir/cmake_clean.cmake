@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_unified_memory.dir/fig14_unified_memory.cc.o"
+  "CMakeFiles/fig14_unified_memory.dir/fig14_unified_memory.cc.o.d"
+  "fig14_unified_memory"
+  "fig14_unified_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_unified_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fine_grained_overlap.dir/fig15_fine_grained_overlap.cc.o"
+  "CMakeFiles/fig15_fine_grained_overlap.dir/fig15_fine_grained_overlap.cc.o.d"
+  "fig15_fine_grained_overlap"
+  "fig15_fine_grained_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fine_grained_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_fine_grained_overlap.
+# This may be replaced when dependencies are built.

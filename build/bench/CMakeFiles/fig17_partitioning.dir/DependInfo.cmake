@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_partitioning.cc" "bench/CMakeFiles/fig17_partitioning.dir/fig17_partitioning.cc.o" "gcc" "bench/CMakeFiles/fig17_partitioning.dir/fig17_partitioning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ehpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/ehpsim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ehpsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/ehpsim_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ehpsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ehpsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/ehpsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ehpsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ehpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ehpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ehpsim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

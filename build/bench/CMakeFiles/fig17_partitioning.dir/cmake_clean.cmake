@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_partitioning.dir/fig17_partitioning.cc.o"
+  "CMakeFiles/fig17_partitioning.dir/fig17_partitioning.cc.o.d"
+  "fig17_partitioning"
+  "fig17_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_node_topologies.dir/fig18_node_topologies.cc.o"
+  "CMakeFiles/fig18_node_topologies.dir/fig18_node_topologies.cc.o.d"
+  "fig18_node_topologies"
+  "fig18_node_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_node_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

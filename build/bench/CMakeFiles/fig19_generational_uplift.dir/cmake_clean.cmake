@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_generational_uplift.dir/fig19_generational_uplift.cc.o"
+  "CMakeFiles/fig19_generational_uplift.dir/fig19_generational_uplift.cc.o.d"
+  "fig19_generational_uplift"
+  "fig19_generational_uplift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_generational_uplift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_hpc_speedups.dir/fig20_hpc_speedups.cc.o"
+  "CMakeFiles/fig20_hpc_speedups.dir/fig20_hpc_speedups.cc.o.d"
+  "fig20_hpc_speedups"
+  "fig20_hpc_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_hpc_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

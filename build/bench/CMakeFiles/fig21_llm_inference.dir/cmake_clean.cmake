@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_llm_inference.dir/fig21_llm_inference.cc.o"
+  "CMakeFiles/fig21_llm_inference.dir/fig21_llm_inference.cc.o.d"
+  "fig21_llm_inference"
+  "fig21_llm_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_llm_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

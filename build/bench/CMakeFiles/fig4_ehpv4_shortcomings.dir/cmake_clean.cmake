@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ehpv4_shortcomings.dir/fig4_ehpv4_shortcomings.cc.o"
+  "CMakeFiles/fig4_ehpv4_shortcomings.dir/fig4_ehpv4_shortcomings.cc.o.d"
+  "fig4_ehpv4_shortcomings"
+  "fig4_ehpv4_shortcomings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ehpv4_shortcomings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_ehpv4_shortcomings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_iod_bandwidth.dir/fig7_iod_bandwidth.cc.o"
+  "CMakeFiles/fig7_iod_bandwidth.dir/fig7_iod_bandwidth.cc.o.d"
+  "fig7_iod_bandwidth"
+  "fig7_iod_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_iod_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tsv_alignment.dir/fig9_tsv_alignment.cc.o"
+  "CMakeFiles/fig9_tsv_alignment.dir/fig9_tsv_alignment.cc.o.d"
+  "fig9_tsv_alignment"
+  "fig9_tsv_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tsv_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cu_throughput.dir/table1_cu_throughput.cc.o"
+  "CMakeFiles/table1_cu_throughput.dir/table1_cu_throughput.cc.o.d"
+  "table1_cu_throughput"
+  "table1_cu_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cu_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

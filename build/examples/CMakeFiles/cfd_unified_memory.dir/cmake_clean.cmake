@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_unified_memory.dir/cfd_unified_memory.cpp.o"
+  "CMakeFiles/cfd_unified_memory.dir/cfd_unified_memory.cpp.o.d"
+  "cfd_unified_memory"
+  "cfd_unified_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_unified_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_cli.dir/ehpsim_cli.cpp.o"
+  "CMakeFiles/ehpsim_cli.dir/ehpsim_cli.cpp.o.d"
+  "ehpsim_cli"
+  "ehpsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

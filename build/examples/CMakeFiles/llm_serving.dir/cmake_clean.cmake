@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_serving.dir/llm_serving.cpp.o"
+  "CMakeFiles/llm_serving.dir/llm_serving.cpp.o.d"
+  "llm_serving"
+  "llm_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

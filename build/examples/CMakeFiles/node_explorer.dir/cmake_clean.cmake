@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_explorer.dir/node_explorer.cpp.o"
+  "CMakeFiles/node_explorer.dir/node_explorer.cpp.o.d"
+  "node_explorer"
+  "node_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_designer.dir/package_designer.cpp.o"
+  "CMakeFiles/package_designer.dir/package_designer.cpp.o.d"
+  "package_designer"
+  "package_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("geom")
+subdirs("mem")
+subdirs("fabric")
+subdirs("coherence")
+subdirs("cpu")
+subdirs("gpu")
+subdirs("hsa")
+subdirs("power")
+subdirs("soc")
+subdirs("workloads")
+subdirs("core")

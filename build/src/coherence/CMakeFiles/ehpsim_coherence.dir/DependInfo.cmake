@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/gpu_directory.cc" "src/coherence/CMakeFiles/ehpsim_coherence.dir/gpu_directory.cc.o" "gcc" "src/coherence/CMakeFiles/ehpsim_coherence.dir/gpu_directory.cc.o.d"
+  "/root/repo/src/coherence/gpu_scope.cc" "src/coherence/CMakeFiles/ehpsim_coherence.dir/gpu_scope.cc.o" "gcc" "src/coherence/CMakeFiles/ehpsim_coherence.dir/gpu_scope.cc.o.d"
+  "/root/repo/src/coherence/probe_filter.cc" "src/coherence/CMakeFiles/ehpsim_coherence.dir/probe_filter.cc.o" "gcc" "src/coherence/CMakeFiles/ehpsim_coherence.dir/probe_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ehpsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

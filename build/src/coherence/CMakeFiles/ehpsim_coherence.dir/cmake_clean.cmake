@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_coherence.dir/gpu_directory.cc.o"
+  "CMakeFiles/ehpsim_coherence.dir/gpu_directory.cc.o.d"
+  "CMakeFiles/ehpsim_coherence.dir/gpu_scope.cc.o"
+  "CMakeFiles/ehpsim_coherence.dir/gpu_scope.cc.o.d"
+  "CMakeFiles/ehpsim_coherence.dir/probe_filter.cc.o"
+  "CMakeFiles/ehpsim_coherence.dir/probe_filter.cc.o.d"
+  "libehpsim_coherence.a"
+  "libehpsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

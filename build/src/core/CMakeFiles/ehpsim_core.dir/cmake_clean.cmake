@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_core.dir/apu_system.cc.o"
+  "CMakeFiles/ehpsim_core.dir/apu_system.cc.o.d"
+  "CMakeFiles/ehpsim_core.dir/machine_model.cc.o"
+  "CMakeFiles/ehpsim_core.dir/machine_model.cc.o.d"
+  "CMakeFiles/ehpsim_core.dir/report.cc.o"
+  "CMakeFiles/ehpsim_core.dir/report.cc.o.d"
+  "CMakeFiles/ehpsim_core.dir/roofline.cc.o"
+  "CMakeFiles/ehpsim_core.dir/roofline.cc.o.d"
+  "CMakeFiles/ehpsim_core.dir/trace.cc.o"
+  "CMakeFiles/ehpsim_core.dir/trace.cc.o.d"
+  "libehpsim_core.a"
+  "libehpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/ccd.cc" "src/cpu/CMakeFiles/ehpsim_cpu.dir/ccd.cc.o" "gcc" "src/cpu/CMakeFiles/ehpsim_cpu.dir/ccd.cc.o.d"
+  "/root/repo/src/cpu/zen_core.cc" "src/cpu/CMakeFiles/ehpsim_cpu.dir/zen_core.cc.o" "gcc" "src/cpu/CMakeFiles/ehpsim_cpu.dir/zen_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ehpsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_cpu.dir/ccd.cc.o"
+  "CMakeFiles/ehpsim_cpu.dir/ccd.cc.o.d"
+  "CMakeFiles/ehpsim_cpu.dir/zen_core.cc.o"
+  "CMakeFiles/ehpsim_cpu.dir/zen_core.cc.o.d"
+  "libehpsim_cpu.a"
+  "libehpsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_fabric.dir/link.cc.o"
+  "CMakeFiles/ehpsim_fabric.dir/link.cc.o.d"
+  "CMakeFiles/ehpsim_fabric.dir/network.cc.o"
+  "CMakeFiles/ehpsim_fabric.dir/network.cc.o.d"
+  "libehpsim_fabric.a"
+  "libehpsim_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/alignment.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/alignment.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/alignment.cc.o.d"
+  "/root/repo/src/geom/bonding.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/bonding.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/bonding.cc.o.d"
+  "/root/repo/src/geom/floorplan.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/floorplan.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/floorplan.cc.o.d"
+  "/root/repo/src/geom/footprint.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/footprint.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/footprint.cc.o.d"
+  "/root/repo/src/geom/power_delivery.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/power_delivery.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/power_delivery.cc.o.d"
+  "/root/repo/src/geom/transform.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/transform.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/transform.cc.o.d"
+  "/root/repo/src/geom/tsv_grid.cc" "src/geom/CMakeFiles/ehpsim_geom.dir/tsv_grid.cc.o" "gcc" "src/geom/CMakeFiles/ehpsim_geom.dir/tsv_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_geom.dir/alignment.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/alignment.cc.o.d"
+  "CMakeFiles/ehpsim_geom.dir/bonding.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/bonding.cc.o.d"
+  "CMakeFiles/ehpsim_geom.dir/floorplan.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/floorplan.cc.o.d"
+  "CMakeFiles/ehpsim_geom.dir/footprint.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/footprint.cc.o.d"
+  "CMakeFiles/ehpsim_geom.dir/power_delivery.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/power_delivery.cc.o.d"
+  "CMakeFiles/ehpsim_geom.dir/transform.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/transform.cc.o.d"
+  "CMakeFiles/ehpsim_geom.dir/tsv_grid.cc.o"
+  "CMakeFiles/ehpsim_geom.dir/tsv_grid.cc.o.d"
+  "libehpsim_geom.a"
+  "libehpsim_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cdna.cc" "src/gpu/CMakeFiles/ehpsim_gpu.dir/cdna.cc.o" "gcc" "src/gpu/CMakeFiles/ehpsim_gpu.dir/cdna.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/gpu/CMakeFiles/ehpsim_gpu.dir/compute_unit.cc.o" "gcc" "src/gpu/CMakeFiles/ehpsim_gpu.dir/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/xcd.cc" "src/gpu/CMakeFiles/ehpsim_gpu.dir/xcd.cc.o" "gcc" "src/gpu/CMakeFiles/ehpsim_gpu.dir/xcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ehpsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_gpu.dir/cdna.cc.o"
+  "CMakeFiles/ehpsim_gpu.dir/cdna.cc.o.d"
+  "CMakeFiles/ehpsim_gpu.dir/compute_unit.cc.o"
+  "CMakeFiles/ehpsim_gpu.dir/compute_unit.cc.o.d"
+  "CMakeFiles/ehpsim_gpu.dir/xcd.cc.o"
+  "CMakeFiles/ehpsim_gpu.dir/xcd.cc.o.d"
+  "libehpsim_gpu.a"
+  "libehpsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

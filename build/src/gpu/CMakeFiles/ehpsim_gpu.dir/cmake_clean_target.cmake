@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libehpsim_gpu.a"
+)

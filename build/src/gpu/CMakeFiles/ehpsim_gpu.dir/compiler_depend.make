@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ehpsim_gpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsa/partition.cc" "src/hsa/CMakeFiles/ehpsim_hsa.dir/partition.cc.o" "gcc" "src/hsa/CMakeFiles/ehpsim_hsa.dir/partition.cc.o.d"
+  "/root/repo/src/hsa/queue.cc" "src/hsa/CMakeFiles/ehpsim_hsa.dir/queue.cc.o" "gcc" "src/hsa/CMakeFiles/ehpsim_hsa.dir/queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ehpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ehpsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ehpsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/ehpsim_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_hsa.dir/partition.cc.o"
+  "CMakeFiles/ehpsim_hsa.dir/partition.cc.o.d"
+  "CMakeFiles/ehpsim_hsa.dir/queue.cc.o"
+  "CMakeFiles/ehpsim_hsa.dir/queue.cc.o.d"
+  "libehpsim_hsa.a"
+  "libehpsim_hsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/ehpsim_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/ehpsim_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/mem/CMakeFiles/ehpsim_mem.dir/cache_array.cc.o" "gcc" "src/mem/CMakeFiles/ehpsim_mem.dir/cache_array.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/ehpsim_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/ehpsim_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/hbm_subsystem.cc" "src/mem/CMakeFiles/ehpsim_mem.dir/hbm_subsystem.cc.o" "gcc" "src/mem/CMakeFiles/ehpsim_mem.dir/hbm_subsystem.cc.o.d"
+  "/root/repo/src/mem/infinity_cache.cc" "src/mem/CMakeFiles/ehpsim_mem.dir/infinity_cache.cc.o" "gcc" "src/mem/CMakeFiles/ehpsim_mem.dir/infinity_cache.cc.o.d"
+  "/root/repo/src/mem/interleave.cc" "src/mem/CMakeFiles/ehpsim_mem.dir/interleave.cc.o" "gcc" "src/mem/CMakeFiles/ehpsim_mem.dir/interleave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

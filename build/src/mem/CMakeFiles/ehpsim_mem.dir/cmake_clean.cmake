@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_mem.dir/cache.cc.o"
+  "CMakeFiles/ehpsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ehpsim_mem.dir/cache_array.cc.o"
+  "CMakeFiles/ehpsim_mem.dir/cache_array.cc.o.d"
+  "CMakeFiles/ehpsim_mem.dir/dram.cc.o"
+  "CMakeFiles/ehpsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/ehpsim_mem.dir/hbm_subsystem.cc.o"
+  "CMakeFiles/ehpsim_mem.dir/hbm_subsystem.cc.o.d"
+  "CMakeFiles/ehpsim_mem.dir/infinity_cache.cc.o"
+  "CMakeFiles/ehpsim_mem.dir/infinity_cache.cc.o.d"
+  "CMakeFiles/ehpsim_mem.dir/interleave.cc.o"
+  "CMakeFiles/ehpsim_mem.dir/interleave.cc.o.d"
+  "libehpsim_mem.a"
+  "libehpsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/governor.cc" "src/power/CMakeFiles/ehpsim_power.dir/governor.cc.o" "gcc" "src/power/CMakeFiles/ehpsim_power.dir/governor.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/ehpsim_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/ehpsim_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/thermal.cc" "src/power/CMakeFiles/ehpsim_power.dir/thermal.cc.o" "gcc" "src/power/CMakeFiles/ehpsim_power.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ehpsim_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_power.dir/governor.cc.o"
+  "CMakeFiles/ehpsim_power.dir/governor.cc.o.d"
+  "CMakeFiles/ehpsim_power.dir/power_model.cc.o"
+  "CMakeFiles/ehpsim_power.dir/power_model.cc.o.d"
+  "CMakeFiles/ehpsim_power.dir/thermal.cc.o"
+  "CMakeFiles/ehpsim_power.dir/thermal.cc.o.d"
+  "libehpsim_power.a"
+  "libehpsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ehpsim_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ehpsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ehpsim_sim.dir/logging.cc.o"
+  "CMakeFiles/ehpsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/ehpsim_sim.dir/rng.cc.o"
+  "CMakeFiles/ehpsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/ehpsim_sim.dir/stats.cc.o"
+  "CMakeFiles/ehpsim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/ehpsim_sim.dir/units.cc.o"
+  "CMakeFiles/ehpsim_sim.dir/units.cc.o.d"
+  "libehpsim_sim.a"
+  "libehpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

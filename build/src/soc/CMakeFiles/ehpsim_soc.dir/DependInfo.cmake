@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/floorplan_builder.cc" "src/soc/CMakeFiles/ehpsim_soc.dir/floorplan_builder.cc.o" "gcc" "src/soc/CMakeFiles/ehpsim_soc.dir/floorplan_builder.cc.o.d"
+  "/root/repo/src/soc/multi_socket.cc" "src/soc/CMakeFiles/ehpsim_soc.dir/multi_socket.cc.o" "gcc" "src/soc/CMakeFiles/ehpsim_soc.dir/multi_socket.cc.o.d"
+  "/root/repo/src/soc/node_topology.cc" "src/soc/CMakeFiles/ehpsim_soc.dir/node_topology.cc.o" "gcc" "src/soc/CMakeFiles/ehpsim_soc.dir/node_topology.cc.o.d"
+  "/root/repo/src/soc/package.cc" "src/soc/CMakeFiles/ehpsim_soc.dir/package.cc.o" "gcc" "src/soc/CMakeFiles/ehpsim_soc.dir/package.cc.o.d"
+  "/root/repo/src/soc/product_config.cc" "src/soc/CMakeFiles/ehpsim_soc.dir/product_config.cc.o" "gcc" "src/soc/CMakeFiles/ehpsim_soc.dir/product_config.cc.o.d"
+  "/root/repo/src/soc/utilization.cc" "src/soc/CMakeFiles/ehpsim_soc.dir/utilization.cc.o" "gcc" "src/soc/CMakeFiles/ehpsim_soc.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ehpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ehpsim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ehpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ehpsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/ehpsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ehpsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ehpsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/ehpsim_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ehpsim_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

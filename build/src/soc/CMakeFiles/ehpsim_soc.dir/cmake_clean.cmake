@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_soc.dir/floorplan_builder.cc.o"
+  "CMakeFiles/ehpsim_soc.dir/floorplan_builder.cc.o.d"
+  "CMakeFiles/ehpsim_soc.dir/multi_socket.cc.o"
+  "CMakeFiles/ehpsim_soc.dir/multi_socket.cc.o.d"
+  "CMakeFiles/ehpsim_soc.dir/node_topology.cc.o"
+  "CMakeFiles/ehpsim_soc.dir/node_topology.cc.o.d"
+  "CMakeFiles/ehpsim_soc.dir/package.cc.o"
+  "CMakeFiles/ehpsim_soc.dir/package.cc.o.d"
+  "CMakeFiles/ehpsim_soc.dir/product_config.cc.o"
+  "CMakeFiles/ehpsim_soc.dir/product_config.cc.o.d"
+  "CMakeFiles/ehpsim_soc.dir/utilization.cc.o"
+  "CMakeFiles/ehpsim_soc.dir/utilization.cc.o.d"
+  "libehpsim_soc.a"
+  "libehpsim_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehpsim_workloads.dir/generators.cc.o"
+  "CMakeFiles/ehpsim_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/ehpsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/ehpsim_workloads.dir/workload.cc.o.d"
+  "libehpsim_workloads.a"
+  "libehpsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehpsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bonding_test.dir/bonding_test.cc.o"
+  "CMakeFiles/bonding_test.dir/bonding_test.cc.o.d"
+  "bonding_test"
+  "bonding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bonding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehp_lineage_test.dir/ehp_lineage_test.cc.o"
+  "CMakeFiles/ehp_lineage_test.dir/ehp_lineage_test.cc.o.d"
+  "ehp_lineage_test"
+  "ehp_lineage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehp_lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

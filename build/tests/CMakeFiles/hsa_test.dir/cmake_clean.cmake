@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsa_test.dir/hsa_test.cc.o"
+  "CMakeFiles/hsa_test.dir/hsa_test.cc.o.d"
+  "hsa_test"
+  "hsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

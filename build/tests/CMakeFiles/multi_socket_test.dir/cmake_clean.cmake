@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_socket_test.dir/multi_socket_test.cc.o"
+  "CMakeFiles/multi_socket_test.dir/multi_socket_test.cc.o.d"
+  "multi_socket_test"
+  "multi_socket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_test.dir/occupancy_test.cc.o"
+  "CMakeFiles/occupancy_test.dir/occupancy_test.cc.o.d"
+  "occupancy_test"
+  "occupancy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
