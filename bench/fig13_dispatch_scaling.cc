@@ -5,6 +5,10 @@
  * of XCDs cooperating in the partition, the high-priority ACE
  * synchronization traffic, and the round-robin vs blocked workgroup
  * distribution policies (L2 reuse vs bandwidth spread).
+ *
+ * Sweep-shaped: each partition size / policy is an independent
+ * SweepCase (own ApuSystem, EventQueue, stats), so the whole figure
+ * parallelizes with --jobs N and exports JSON with --json FILE.
  */
 
 #include <benchmark/benchmark.h>
@@ -34,66 +38,79 @@ makeKernel(std::uint64_t grid)
     return pkt;
 }
 
+/** One point of the scaling curve: a 456-workgroup kernel (2 waves
+ *  on all 228 CUs) on an n-XCD partition built from one package. */
 void
-report()
+dispatchCase(unsigned n, bench::RowSink &sink)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    auto &pkg = sys.package();
+    std::vector<gpu::Xcd *> xs;
+    std::vector<fabric::NodeId> nodes;
+    std::vector<unsigned> ids;
+    for (unsigned i = 0; i < n; ++i) {
+        xs.push_back(pkg.xcd(i));
+        nodes.push_back(pkg.xcdNode(i));
+        ids.push_back(i);
+    }
+    hsa::Partition part(&pkg, "bench_part", xs, pkg.scopes(),
+                        pkg.network(), nodes, pkg.iodNode(0), ids);
+    auto pkt = makeKernel(456);
+    pkt.work.read_base = 0;
+    pkt.work.write_base = 1u << 30;
+    const auto res = part.dispatch(0, pkt);
+    const double t = secondsFromTicks(res.complete);
+    const std::string x = std::to_string(n) + "_xcds";
+    sink.row("kernel_time", x, t * 1e6, "us");
+    sink.row("sync_messages", x, res.sync_messages, "msgs");
+}
+
+/** Policy ablation: a streaming kernel under one distribution
+ *  policy (reuse-heavy kernels favor blocked; streams round-robin). */
+void
+policyCase(hsa::DistributionPolicy policy, const std::string &label,
+           bench::RowSink &sink)
+{
+    ApuSystem sys(soc::mi300aConfig());
+    auto w = workloads::streamTriad(1 << 19);
+    w.phases[0].grid_workgroups = 512;
+    const auto rep = sys.run(w, 1, policy);
+    sink.row("policy_stream", label, rep.total_s * 1e6, "us");
+}
+
+void
+report(const bench::SweepArgs &args)
 {
     bench::printHeader(
         "fig13", "multi-XCD cooperative dispatch scaling");
 
-    // Scaling: the same 456-workgroup kernel on 1..6-XCD partitions
-    // (456 = 2 waves on all 228 CUs).
-    bool pass = true;
-    double t1 = 0;
-    // Build partitions of different sizes by hand from one package.
+    std::vector<bench::SweepCase> cases;
     for (unsigned n : {1u, 2u, 3u, 6u}) {
-        ApuSystem sys(soc::mi300aConfig());
-        auto &pkg = sys.package();
-        std::vector<gpu::Xcd *> xs;
-        std::vector<fabric::NodeId> nodes;
-        std::vector<unsigned> ids;
-        for (unsigned i = 0; i < n; ++i) {
-            xs.push_back(pkg.xcd(i));
-            nodes.push_back(pkg.xcdNode(i));
-            ids.push_back(i);
-        }
-        hsa::Partition part(&pkg, "bench_part", xs, pkg.scopes(),
-                            pkg.network(), nodes, pkg.iodNode(0),
-                            ids);
-        auto pkt = makeKernel(456);
-        pkt.work.read_base = 0;
-        pkt.work.write_base = 1u << 30;
-        const auto res = part.dispatch(0, pkt);
-        const double t = secondsFromTicks(res.complete);
-        bench::printRow("fig13", "kernel_time",
-                        std::to_string(n) + "_xcds", t * 1e6, "us");
-        bench::printRow("fig13", "sync_messages",
-                        std::to_string(n) + "_xcds",
-                        res.sync_messages, "msgs");
-        if (n == 1)
-            t1 = t;
-        if (res.sync_messages != n - 1)
-            pass = false;
-        if (n == 6 && !(t < t1 / 3.0))
-            pass = false;   // must scale well past 3x
+        cases.push_back({"dispatch_" + std::to_string(n) + "xcd",
+                         [n](bench::RowSink &s) { dispatchCase(n, s); }});
     }
+    cases.push_back({"policy_round_robin", [](bench::RowSink &s) {
+        policyCase(hsa::DistributionPolicy::roundRobin, "round_robin",
+                   s);
+    }});
+    cases.push_back({"policy_blocked", [](bench::RowSink &s) {
+        policyCase(hsa::DistributionPolicy::blocked, "blocked", s);
+    }});
 
-    // Policy ablation: a reuse-heavy kernel (all workgroups share a
-    // small read set) favors blocked; a streaming kernel favors
-    // round-robin spreading.
-    {
-        ApuSystem rr(soc::mi300aConfig());
-        ApuSystem blk(soc::mi300aConfig());
-        auto w = workloads::streamTriad(1 << 19);
-        w.phases[0].grid_workgroups = 512;
-        const auto r1 =
-            rr.run(w, 1, hsa::DistributionPolicy::roundRobin);
-        const auto r2 =
-            blk.run(w, 1, hsa::DistributionPolicy::blocked);
-        bench::printRow("fig13", "policy_stream", "round_robin",
-                        r1.total_s * 1e6, "us");
-        bench::printRow("fig13", "policy_stream", "blocked",
-                        r2.total_s * 1e6, "us");
+    const auto outcomes = bench::runCases("fig13", cases, args);
+
+    bool pass = true;
+    const double t1 =
+        bench::findRow(outcomes, "kernel_time", "1_xcds");
+    for (unsigned n : {1u, 2u, 3u, 6u}) {
+        const double sync = bench::findRow(
+            outcomes, "sync_messages", std::to_string(n) + "_xcds", -1);
+        if (sync != n - 1)
+            pass = false;
     }
+    const double t6 = bench::findRow(outcomes, "kernel_time", "6_xcds");
+    if (!(t6 < t1 / 3.0))
+        pass = false;   // must scale well past 3x
 
     bench::shapeCheck(
         "fig13", pass,
@@ -122,7 +139,8 @@ BENCHMARK(BM_Dispatch);
 int
 main(int argc, char **argv)
 {
-    report();
+    const auto sweep_args = bench::parseSweepArgs(argc, argv);
+    report(sweep_args);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -5,7 +5,12 @@
  * (b) eight MI300X accelerators fully connected with one x16 IF
  * link per pair plus PCIe host links. Reports p2p bandwidth and
  * latency, all-to-all exchange time, and bisection bandwidth.
+ *
+ * Sweep-shaped: each topology (and each all-to-all transfer size)
+ * is an independent SweepCase (--jobs N, --json FILE).
  */
+
+#include <cmath>
 
 #include <benchmark/benchmark.h>
 
@@ -18,52 +23,85 @@ using namespace ehpsim::soc;
 namespace
 {
 
+/** Fig. 18a: the quad-MI300A node. */
 void
-report()
+quadCase(bench::RowSink &sink)
+{
+    SimObject root(nullptr, "root");
+    auto quad = NodeTopology::mi300aQuadNode(&root);
+    const double p2p = quad->p2pBandwidth(0, 1);
+    const Tick lat = quad->p2pLatency(0, 2);
+    sink.row("p2p_bandwidth", "quad_pair", p2p / 1e9, "GB/s");
+    sink.row("p2p_latency", "quad_pair",
+             secondsFromTicks(lat) * 1e9, "ns");
+    sink.row("bisection", "2v2", quad->bisectionBandwidth() / 1e9,
+             "GB/s");
+    sink.row("free_links_per_socket", "nic", quad->freeLinks(0),
+             "x16");
+    // Two x16 per pair = 128 GB/s per direction; 2 links spare.
+    const bool ok =
+        std::abs(p2p / 1e9 - 128.0) < 1.0 && quad->freeLinks(0) == 2;
+    sink.row("quad_ok", "shape", ok ? 1 : 0, "bool");
+}
+
+/** Fig. 18b: the octo-MI300X node with PCIe host links. */
+void
+octoCase(bench::RowSink &sink)
+{
+    SimObject root(nullptr, "root");
+    auto octo = NodeTopology::mi300xOctoNode(&root);
+    const double p2p = octo->p2pBandwidth(2, 5);
+    sink.row("p2p_bandwidth", "octo_pair", p2p / 1e9, "GB/s");
+    sink.row("bisection", "4v4", octo->bisectionBandwidth() / 1e9,
+             "GB/s");
+    // Host reachability over PCIe.
+    const double host_bw = octo->p2pBandwidth(0, 8);
+    sink.row("host_link", "pcie", host_bw / 1e9, "GB/s");
+    const bool ok = std::abs(p2p / 1e9 - 64.0) < 1.0 &&
+                    octo->freeLinks(0) == 0 &&
+                    std::abs(host_bw / 1e9 - 64.0) < 1.0;
+    sink.row("octo_ok", "shape", ok ? 1 : 0, "bool");
+}
+
+/** All-to-all exchange time on one topology at one message size. */
+void
+allToAllCase(bool quad_node, std::uint64_t bytes,
+             const std::string &label, bench::RowSink &sink)
+{
+    SimObject root(nullptr, "root");
+    auto topo = quad_node ? NodeTopology::mi300aQuadNode(&root)
+                          : NodeTopology::mi300xOctoNode(&root);
+    const Tick a2a = topo->allToAll(0, bytes);
+    sink.row(quad_node ? "all_to_all_quad" : "all_to_all_octo", label,
+             secondsFromTicks(a2a) * 1e3, "ms");
+}
+
+void
+report(const bench::SweepArgs &args)
 {
     bench::printHeader("fig18", "MI300 node topologies");
-    SimObject root(nullptr, "root");
 
-    bool pass = true;
-    {
-        auto quad = NodeTopology::mi300aQuadNode(&root);
-        const double p2p = quad->p2pBandwidth(0, 1);
-        const Tick lat = quad->p2pLatency(0, 2);
-        bench::printRow("fig18a", "p2p_bandwidth", "pair",
-                        p2p / 1e9, "GB/s");
-        bench::printRow("fig18a", "p2p_latency", "pair",
-                        secondsFromTicks(lat) * 1e9, "ns");
-        bench::printRow("fig18a", "bisection",
-                        "2v2", quad->bisectionBandwidth() / 1e9,
-                        "GB/s");
-        bench::printRow("fig18a", "free_links_per_socket", "nic",
-                        quad->freeLinks(0), "x16");
-        const Tick a2a = quad->allToAll(0, 256u << 20);
-        bench::printRow("fig18a", "all_to_all_256MB", "quad",
-                        secondsFromTicks(a2a) * 1e3, "ms");
-        // Two x16 per pair = 128 GB/s per direction; 2 links spare.
-        pass = pass && std::abs(p2p / 1e9 - 128.0) < 1.0 &&
-               quad->freeLinks(0) == 2;
-    }
+    std::vector<bench::SweepCase> cases;
+    cases.push_back({"quad_node", quadCase});
+    cases.push_back({"octo_node", octoCase});
+    cases.push_back({"a2a_quad_256MB", [](bench::RowSink &s) {
+        allToAllCase(true, 256u << 20, "256MB", s);
+    }});
+    cases.push_back({"a2a_quad_64MB", [](bench::RowSink &s) {
+        allToAllCase(true, 64u << 20, "64MB", s);
+    }});
+    cases.push_back({"a2a_octo_64MB", [](bench::RowSink &s) {
+        allToAllCase(false, 64u << 20, "64MB", s);
+    }});
+    cases.push_back({"a2a_octo_16MB", [](bench::RowSink &s) {
+        allToAllCase(false, 16u << 20, "16MB", s);
+    }});
 
-    {
-        auto octo = NodeTopology::mi300xOctoNode(&root);
-        const double p2p = octo->p2pBandwidth(2, 5);
-        bench::printRow("fig18b", "p2p_bandwidth", "pair",
-                        p2p / 1e9, "GB/s");
-        bench::printRow("fig18b", "bisection", "4v4",
-                        octo->bisectionBandwidth() / 1e9, "GB/s");
-        const Tick a2a = octo->allToAll(0, 64u << 20);
-        bench::printRow("fig18b", "all_to_all_64MB", "octo",
-                        secondsFromTicks(a2a) * 1e3, "ms");
-        // Host reachability over PCIe.
-        const double host_bw = octo->p2pBandwidth(0, 8);
-        bench::printRow("fig18b", "host_link", "pcie",
-                        host_bw / 1e9, "GB/s");
-        pass = pass && std::abs(p2p / 1e9 - 64.0) < 1.0 &&
-               octo->freeLinks(0) == 0 &&
-               std::abs(host_bw / 1e9 - 64.0) < 1.0;
-    }
+    const auto outcomes = bench::runCases("fig18", cases, args);
+
+    const bool pass =
+        bench::findRow(outcomes, "quad_ok", "shape") == 1 &&
+        bench::findRow(outcomes, "octo_ok", "shape") == 1;
 
     bench::shapeCheck(
         "fig18", pass,
@@ -90,7 +128,8 @@ BENCHMARK(BM_AllToAll);
 int
 main(int argc, char **argv)
 {
-    report();
+    const auto sweep_args = bench::parseSweepArgs(argc, argv);
+    report(sweep_args);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

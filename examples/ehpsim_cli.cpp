@@ -1,7 +1,7 @@
 /**
  * @file
  * ehpsim command-line driver: pick a product, a workload, an engine,
- * and run it.
+ * and run it — or sweep a whole configuration matrix in parallel.
  *
  *   ehpsim_cli [--product mi300a|mi300x|mi250x|ehpv3|ehpv4]
  *              [--workload triad|gemm|nbody|hpcg|cfd|gromacs|llm]
@@ -9,22 +9,37 @@
  *              [--partitions N] [--policy rr|blocked] [--nps 1|4]
  *              [--scale N] [--trace out.json] [--stats]
  *
+ *   ehpsim_cli sweep [--products a,b,...] [--workloads x,y,...]
+ *              [--engine event|roofline] [--jobs N] [--json FILE]
+ *              [--scale N] [--stats]
+ *
+ * The sweep subcommand runs the products x workloads cross product
+ * as independent jobs on a sweep::SweepRunner worker pool and emits
+ * an ehpsim-sweep-v1 JSON document (stdout, or FILE with --json).
+ * Output is byte-identical for any --jobs value.
+ *
  * Examples:
  *   ehpsim_cli --product mi300a --workload cfd --engine roofline
  *   ehpsim_cli --product mi300x --workload triad --partitions 8
- *   ehpsim_cli --workload llm --engine roofline --trace llm.json
+ *   ehpsim_cli sweep --products mi300a,mi300x,mi250x \
+ *       --workloads triad,gemm,cfd --jobs 8 --json sweep.json
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/apu_system.hh"
 #include "core/machine_model.hh"
 #include "core/roofline.hh"
 #include "core/trace.hh"
 #include "sim/logging.hh"
+#include "sweep/sweep_runner.hh"
 #include "workloads/generators.hh"
 
 using namespace ehpsim;
@@ -55,8 +70,12 @@ usage(const char *argv0)
                  "[--engine event|roofline]\n"
                  "          [--partitions N] [--policy rr|blocked] "
                  "[--nps 1|4] [--scale N]\n"
-                 "          [--trace FILE] [--stats]\n",
-                 argv0);
+                 "          [--trace FILE] [--stats]\n"
+                 "       %s sweep [--products a,b,...] "
+                 "[--workloads x,y,...]\n"
+                 "          [--engine event|roofline] [--jobs N] "
+                 "[--json FILE] [--scale N] [--stats]\n",
+                 argv0, argv0);
     std::exit(2);
 }
 
@@ -148,11 +167,164 @@ workloadFor(const std::string &name, std::uint64_t scale)
     fatal("unknown workload '", name, "'");
 }
 
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+/** Run one (product, workload) sweep job and serialize its report. */
+void
+runSweepJob(const std::string &product, const std::string &workload,
+            const std::string &engine, std::uint64_t scale,
+            bool with_stats, json::JsonWriter &jw)
+{
+    const auto w = workloadFor(workload, scale);
+
+    jw.beginObject();
+    jw.kv("product", product);
+    jw.kv("workload", workload);
+    jw.kv("engine", engine);
+
+    RunReport report;
+    std::unique_ptr<ApuSystem> sys;
+    if (engine == "roofline") {
+        const RooflineEngine eng(modelFor(product));
+        report = eng.run(w);
+    } else {
+        sys = std::make_unique<ApuSystem>(productFor(product));
+        report = sys->run(w);
+    }
+
+    jw.key("phases");
+    jw.beginArray();
+    for (const auto &p : report.phases) {
+        jw.beginObject();
+        jw.kv("name", p.name);
+        jw.kv("total_s", p.total_s);
+        jw.kv("gpu_s", p.gpu_s);
+        jw.kv("cpu_s", p.cpu_s);
+        jw.kv("transfer_s", p.transfer_s);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.kv("total_s", report.total_s);
+
+    const double flops = static_cast<double>(w.totalGpuFlops());
+    if (flops > 0 && report.total_s > 0) {
+        jw.kv("achieved_tflops", flops / report.total_s / 1e12);
+        jw.kv("achieved_tbps",
+              static_cast<double>(w.totalGpuBytes()) /
+                  report.total_s / 1e12);
+    }
+    if (with_stats && sys) {
+        jw.key("stats");
+        sys->dumpJsonStats(jw);
+    }
+    jw.endObject();
+}
+
+int
+sweepMain(int argc, char **argv)
+{
+    std::vector<std::string> products = {"mi300a", "mi300x", "mi250x"};
+    std::vector<std::string> workloads = {"triad"};
+    std::string engine = "event";
+    std::string json_path;
+    unsigned jobs = 1;
+    std::uint64_t scale = 1;
+    bool with_stats = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--products")
+            products = splitList(next());
+        else if (arg == "--workloads")
+            workloads = splitList(next());
+        else if (arg == "--engine")
+            engine = next();
+        else if (arg == "--jobs")
+            jobs = std::stoul(next());
+        else if (arg == "--json")
+            json_path = next();
+        else if (arg == "--scale")
+            scale = std::stoull(next());
+        else if (arg == "--stats")
+            with_stats = true;
+        else
+            usage(argv[0]);
+    }
+    if (products.empty() || workloads.empty() || jobs == 0)
+        usage(argv[0]);
+
+    sweep::SweepRunner runner(jobs);
+    for (const auto &product : products) {
+        for (const auto &workload : workloads) {
+            runner.addJob(product + "/" + workload,
+                          [=](json::JsonWriter &jw) {
+                              runSweepJob(product, workload, engine,
+                                          scale, with_stats, jw);
+                          });
+        }
+    }
+
+    const auto results = runner.run();
+
+    std::fprintf(stderr,
+                 "sweep: %zu jobs on %u workers, %.3f s of job time\n",
+                 results.size(), runner.workers(),
+                 sweep::SweepRunner::totalJobSeconds(results));
+    int failures = 0;
+    for (const auto &res : results) {
+        if (!res.ok) {
+            ++failures;
+            std::fprintf(stderr, "sweep: job %zu (%s) failed: %s\n",
+                         res.index, res.name.c_str(),
+                         res.error.c_str());
+        }
+    }
+
+    if (json_path.empty()) {
+        sweep::SweepRunner::dumpJson(std::cout, "ehpsim_cli", results);
+    } else {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "sweep: cannot open %s for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        sweep::SweepRunner::dumpJson(out, "ehpsim_cli", results);
+        if (!out.flush()) {
+            std::fprintf(stderr, "sweep: error writing %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "sweep: JSON written to %s\n",
+                     json_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return sweepMain(argc, argv);
+
     const Options opt = parseArgs(argc, argv);
     const auto workload = workloadFor(opt.workload, opt.scale);
     std::printf("ehpsim: %s on %s via %s engine\n",

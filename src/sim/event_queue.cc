@@ -28,22 +28,36 @@ EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
 }
 
 void
-EventQueue::deschedule(Event *ev)
+EventQueue::killEntry(Event *ev)
 {
-    if (!ev->scheduled_)
-        panic("descheduling an event that is not scheduled");
-    if (ev->selfDeleting())
-        panic("cannot deschedule a self-deleting event");
-    // Lazy removal: mark dead; the stale queue entry is skipped later.
+    // Lazy removal: tombstone the entry's sequence number; the stale
+    // queue entry is skipped later by seq alone, so the event object
+    // may be freed in the meantime.
+    dead_seqs_.insert(ev->seq_);
     ev->scheduled_ = false;
     --live_count_;
 }
 
 void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->scheduled_)
+        panic("descheduling an event that is not scheduled");
+    if (ev->selfDeleting()) {
+        panic("descheduling a self-deleting event would leak it: the "
+              "queue only deletes events it processes; use "
+              "reschedule() or let it fire");
+    }
+    killEntry(ev);
+}
+
+void
 EventQueue::reschedule(Event *ev, Tick when)
 {
+    // Deliberately not routed through deschedule(): rescheduling a
+    // self-deleting event is safe (it still fires exactly once).
     if (ev->scheduled_)
-        deschedule(ev);
+        killEntry(ev);
     schedule(ev, when);
 }
 
@@ -51,11 +65,10 @@ void
 EventQueue::skipDead()
 {
     while (!queue_.empty()) {
-        const Entry &head = queue_.top();
-        // An entry is stale if its event was descheduled (scheduled_
-        // false) or rescheduled (seq mismatch).
-        if (head.ev->scheduled_ && head.ev->seq_ == head.seq)
+        const auto it = dead_seqs_.find(queue_.top().seq);
+        if (it == dead_seqs_.end())
             return;
+        dead_seqs_.erase(it);
         queue_.pop();
     }
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hh"
@@ -106,10 +107,20 @@ class EventQueue
     void scheduleLambda(Tick when, std::function<void()> fn,
                         int priority = Event::defaultPriority);
 
-    /** Remove a scheduled (non-self-deleting) event from the queue. */
+    /**
+     * Remove a scheduled event from the queue. Self-deleting events
+     * are rejected: the queue only deletes events it processes, so
+     * descheduling one would leak it (use reschedule(), or let it
+     * fire). After descheduling, the owner may immediately delete
+     * the event; the queue never touches its memory again.
+     */
     void deschedule(Event *ev);
 
-    /** Re-schedule an already-scheduled event to a new tick. */
+    /**
+     * Re-schedule an already-scheduled event to a new tick. Unlike
+     * deschedule(), this is legal for self-deleting events: the
+     * event still fires exactly once, just at the new time.
+     */
     void reschedule(Event *ev, Tick when);
 
     /** True when no events remain. */
@@ -149,11 +160,23 @@ class EventQueue
         }
     };
 
+    /** Mark @p ev's current queue entry dead without touching it. */
+    void killEntry(Event *ev);
+
     /** Pop entries until the head is a live (still-scheduled) event. */
     void skipDead();
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         queue_;
+
+    /**
+     * Sequence numbers of entries whose events were descheduled or
+     * rescheduled. skipDead()/step() consult only this set, never
+     * the (possibly already freed) Event, so owners may delete an
+     * event as soon as it is descheduled.
+     */
+    std::unordered_set<std::uint64_t> dead_seqs_;
+
     Tick cur_tick_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t num_processed_ = 0;

@@ -1,0 +1,233 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace json
+{
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Doubles represent integers exactly up to 2^53; print those
+    // without an exponent or fraction so counters look like counters.
+    constexpr double exact = 9007199254740992.0;    // 2^53
+    if (v == std::floor(v) && std::fabs(v) < exact) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::newline()
+{
+    os_ << "\n";
+    const std::size_t depth = stack_.size();
+    for (std::size_t i = 0; i < depth * indent_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::preValue()
+{
+    if (done_)
+        panic("JsonWriter: value after the document completed");
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Frame::object) {
+        if (!key_pending_)
+            panic("JsonWriter: object value without a key");
+        key_pending_ = false;
+        return;
+    }
+    // Array element.
+    if (counts_.back() > 0)
+        os_ << ",";
+    newline();
+}
+
+void
+JsonWriter::postValue()
+{
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (done_)
+        panic("JsonWriter: key after the document completed");
+    if (stack_.empty() || stack_.back() != Frame::object)
+        panic("JsonWriter: key outside an object");
+    if (key_pending_)
+        panic("JsonWriter: two keys in a row (missing value)");
+    if (counts_.back() > 0)
+        os_ << ",";
+    newline();
+    os_ << '"' << escape(k) << "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << "{";
+    stack_.push_back(Frame::object);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::object)
+        panic("JsonWriter: endObject with no open object");
+    if (key_pending_)
+        panic("JsonWriter: endObject with a dangling key");
+    const bool empty = counts_.back() == 0;
+    stack_.pop_back();
+    counts_.pop_back();
+    if (!empty) {
+        newline();
+    }
+    os_ << "}";
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << "[";
+    stack_.push_back(Frame::array);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::array)
+        panic("JsonWriter: endArray with no open array");
+    const bool empty = counts_.back() == 0;
+    stack_.pop_back();
+    counts_.pop_back();
+    if (!empty) {
+        newline();
+    }
+    os_ << "]";
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    os_ << formatNumber(v);
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    os_ << '"' << escape(v) << '"';
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    preValue();
+    os_ << "null";
+    postValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view raw)
+{
+    preValue();
+    os_ << raw;
+    postValue();
+    return *this;
+}
+
+} // namespace json
+} // namespace ehpsim

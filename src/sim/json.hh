@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A minimal deterministic JSON emitter.
+ *
+ * JsonWriter produces pretty-printed JSON with fully deterministic
+ * byte output: the same sequence of calls always yields the same
+ * bytes, regardless of locale, platform, or which thread produced
+ * the values. That property is what lets the sweep engine promise
+ * byte-identical output between serial and parallel runs.
+ *
+ * The writer is a state machine over an std::ostream; it does not
+ * build an in-memory document. Misuse (e.g. a value with no pending
+ * key inside an object) panics, since it indicates an ehpsim bug.
+ */
+
+#ifndef EHPSIM_SIM_JSON_HH
+#define EHPSIM_SIM_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ehpsim
+{
+namespace json
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string escape(std::string_view s);
+
+/**
+ * Format @p v the way JsonWriter would: integral doubles within the
+ * exactly-representable range print without a fraction ("3", not
+ * "3.0"); everything else uses "%.12g"; NaN/inf become null.
+ */
+std::string formatNumber(double v);
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, unsigned indent = 2)
+        : os_(os), indent_(indent)
+    {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(std::int64_t(v)); }
+    JsonWriter &value(unsigned v) { return value(std::uint64_t(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &nullValue();
+
+    /** Splice pre-serialized JSON in as a value. Caller guarantees
+     *  @p raw is itself valid JSON. */
+    JsonWriter &rawValue(std::string_view raw);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** True once the top-level value is complete. */
+    bool done() const { return done_; }
+
+  private:
+    enum class Frame { object, array };
+
+    void preValue();
+    void postValue();
+    void newline();
+
+    std::ostream &os_;
+    unsigned indent_;
+    std::vector<Frame> stack_;
+    /** Number of entries emitted at each open level. */
+    std::vector<std::size_t> counts_;
+    bool key_pending_ = false;
+    bool done_ = false;
+};
+
+} // namespace json
+} // namespace ehpsim
+
+#endif // EHPSIM_SIM_JSON_HH

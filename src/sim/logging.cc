@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,8 +13,9 @@ namespace logging_detail
 
 namespace
 {
-std::uint64_t warn_count = 0;
-bool quiet = false;
+// Atomic so warn()/inform() are safe from concurrent sweep workers.
+std::atomic<std::uint64_t> warn_count{0};
+std::atomic<bool> quiet{false};
 } // anonymous namespace
 
 void
@@ -35,15 +37,15 @@ fatalImpl(const std::string &msg, const char *file, int line)
 void
 warnImpl(const std::string &msg)
 {
-    ++warn_count;
-    if (!quiet)
+    warn_count.fetch_add(1, std::memory_order_relaxed);
+    if (!quiet.load(std::memory_order_relaxed))
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet.load(std::memory_order_relaxed))
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -21,6 +22,12 @@ void
 Scalar::dump(std::ostream &os, const std::string &path) const
 {
     os << path << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Scalar::dumpJson(json::JsonWriter &jw) const
+{
+    jw.kv(name(), value_);
 }
 
 void
@@ -46,6 +53,18 @@ Average::dump(std::ostream &os, const std::string &path) const
     os << path << name() << "::max " << max() << " # " << desc() << "\n";
     os << path << name() << "::count " << count_ << " # " << desc()
        << "\n";
+}
+
+void
+Average::dumpJson(json::JsonWriter &jw) const
+{
+    jw.key(name());
+    jw.beginObject();
+    jw.kv("mean", mean());
+    jw.kv("min", min());
+    jw.kv("max", max());
+    jw.kv("count", count_);
+    jw.endObject();
 }
 
 void
@@ -114,6 +133,25 @@ Distribution::dump(std::ostream &os, const std::string &path) const
 }
 
 void
+Distribution::dumpJson(json::JsonWriter &jw) const
+{
+    jw.key(name());
+    jw.beginObject();
+    jw.kv("mean", mean());
+    jw.kv("count", count_);
+    jw.kv("underflows", underflow_);
+    jw.kv("overflows", overflow_);
+    jw.kv("lo", lo_);
+    jw.kv("bucket_width", bucket_width_);
+    jw.key("buckets");
+    jw.beginArray();
+    for (const auto b : buckets_)
+        jw.value(b);
+    jw.endArray();
+    jw.endObject();
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -132,6 +170,12 @@ void
 Formula::dump(std::ostream &os, const std::string &path) const
 {
     os << path << name() << " " << value() << " # " << desc() << "\n";
+}
+
+void
+Formula::dumpJson(json::JsonWriter &jw) const
+{
+    jw.kv(name(), value());
 }
 
 StatGroup::StatGroup(StatGroup *parent, std::string name)
@@ -181,6 +225,31 @@ StatGroup::resetStats()
         stat->reset();
     for (auto *group : groups_)
         group->resetStats();
+}
+
+void
+StatGroup::dumpJsonStats(json::JsonWriter &jw) const
+{
+    jw.beginObject();
+    for (const auto *stat : stats_)
+        stat->dumpJson(jw);
+    for (const auto *group : groups_) {
+        jw.key(group->statName());
+        group->dumpJsonStats(jw);
+    }
+    jw.endObject();
+}
+
+void
+dumpJson(const StatGroup &root, std::ostream &os)
+{
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("name", root.statName());
+    jw.key("stats");
+    root.dumpJsonStats(jw);
+    jw.endObject();
+    os << "\n";
 }
 
 StatBase *

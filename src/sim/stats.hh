@@ -20,6 +20,12 @@
 
 namespace ehpsim
 {
+
+namespace json
+{
+class JsonWriter;
+} // namespace json
+
 namespace stats
 {
 
@@ -39,6 +45,13 @@ class StatBase
     /** Emit "path value # desc" lines. */
     virtual void dump(std::ostream &os,
                       const std::string &path) const = 0;
+
+    /**
+     * Emit this stat as a JSON object member: the writer is inside
+     * an open object; implementations write key(name()) plus one
+     * value (scalars a number, compound kinds a nested object).
+     */
+    virtual void dumpJson(json::JsonWriter &jw) const = 0;
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
@@ -64,6 +77,8 @@ class Scalar : public StatBase
 
     void dump(std::ostream &os, const std::string &path) const override;
 
+    void dumpJson(json::JsonWriter &jw) const override;
+
     void reset() override { value_ = 0; }
 
   private:
@@ -87,6 +102,8 @@ class Average : public StatBase
     double max() const { return count_ ? max_ : 0.0; }
 
     void dump(std::ostream &os, const std::string &path) const override;
+
+    void dumpJson(json::JsonWriter &jw) const override;
 
     void reset() override;
 
@@ -125,6 +142,8 @@ class Distribution : public StatBase
 
     void dump(std::ostream &os, const std::string &path) const override;
 
+    void dumpJson(json::JsonWriter &jw) const override;
+
     void reset() override;
 
   private:
@@ -148,6 +167,8 @@ class Formula : public StatBase
     double value() const { return fn_ ? fn_() : 0.0; }
 
     void dump(std::ostream &os, const std::string &path) const override;
+
+    void dumpJson(json::JsonWriter &jw) const override;
 
     void reset() override {}
 
@@ -176,6 +197,14 @@ class StatGroup
     /** Dump this group's subtree. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Emit this group's subtree as one JSON object value: stats
+     * become members keyed by stat name (compound kinds nest an
+     * object), child groups become nested objects keyed by group
+     * name. The writer must be positioned where a value is legal.
+     */
+    void dumpJsonStats(json::JsonWriter &jw) const;
+
     /** Reset this group's subtree. */
     void resetStats();
 
@@ -196,6 +225,12 @@ class StatGroup
     std::vector<StatBase *> stats_;
     std::vector<StatGroup *> groups_;
 };
+
+/**
+ * Serialize @p root's subtree as a complete JSON document:
+ * {"name": <group name>, "stats": { ...dumpJsonStats()... }}.
+ */
+void dumpJson(const StatGroup &root, std::ostream &os);
 
 } // namespace stats
 } // namespace ehpsim

@@ -1,0 +1,155 @@
+#include "sweep/sweep_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace ehpsim
+{
+namespace sweep
+{
+
+namespace
+{
+
+/** Indent every line of a pre-serialized JSON value by @p pad spaces
+ *  (except the first, which lands after the parent's own padding). */
+std::string
+reindent(const std::string &raw, unsigned pad)
+{
+    std::string out;
+    out.reserve(raw.size());
+    const std::string padding(pad, ' ');
+    for (const char c : raw) {
+        out += c;
+        if (c == '\n')
+            out += padding;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+SweepRunner::SweepRunner(unsigned workers)
+    : workers_(workers ? workers
+                       : std::max(1u, std::thread::hardware_concurrency()))
+{
+}
+
+std::size_t
+SweepRunner::addJob(std::string name,
+                    std::function<void(json::JsonWriter &)> fn)
+{
+    jobs_.push_back(SweepJob{std::move(name), std::move(fn)});
+    return jobs_.size() - 1;
+}
+
+std::vector<JobResult>
+SweepRunner::run()
+{
+    const std::size_t n = jobs_.size();
+    std::vector<JobResult> results(n);
+
+    // The work queue: a cursor over the job vector. Workers pull the
+    // next un-started index under the mutex and run the job outside
+    // it. Each worker writes only to its own result slot, so result
+    // storage needs no further synchronization.
+    std::mutex mtx;
+    std::size_t next = 0;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t idx;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (next >= n)
+                    return;
+                idx = next++;
+            }
+            JobResult &res = results[idx];
+            res.index = idx;
+            res.name = jobs_[idx].name;
+            const auto start = std::chrono::steady_clock::now();
+            std::ostringstream payload;
+            try {
+                json::JsonWriter jw(payload);
+                jobs_[idx].fn(jw);
+                res.output = payload.str();
+                res.ok = true;
+            } catch (const std::exception &e) {
+                res.ok = false;
+                res.error = e.what();
+                res.output.clear();
+            } catch (...) {
+                res.ok = false;
+                res.error = "unknown exception";
+                res.output.clear();
+            }
+            const auto end = std::chrono::steady_clock::now();
+            res.wall_s =
+                std::chrono::duration<double>(end - start).count();
+        }
+    };
+
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(workers_, n));
+    if (pool <= 1) {
+        // Serial reference path: same code, calling thread.
+        worker();
+    } else {
+        std::vector<std::jthread> threads;
+        threads.reserve(pool);
+        for (unsigned i = 0; i < pool; ++i)
+            threads.emplace_back(worker);
+        // jthread joins on destruction.
+    }
+    return results;
+}
+
+void
+SweepRunner::dumpJson(std::ostream &os, const std::string &sweep,
+                      const std::vector<JobResult> &results)
+{
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", "ehpsim-sweep-v1");
+    jw.kv("sweep", sweep);
+    jw.kv("num_jobs", std::uint64_t(results.size()));
+    jw.key("jobs");
+    jw.beginArray();
+    for (const auto &res : results) {
+        jw.beginObject();
+        jw.kv("index", std::uint64_t(res.index));
+        jw.kv("name", res.name);
+        jw.kv("status", res.ok ? "ok" : "error");
+        if (!res.ok)
+            jw.kv("error", res.error);
+        jw.key("output");
+        if (res.output.empty()) {
+            jw.nullValue();
+        } else {
+            // Job payloads were serialized at depth 0 on the worker;
+            // re-indent to sit at our current nesting depth (jobs[]
+            // object member = 3 levels of 2 spaces).
+            jw.rawValue(reindent(res.output, 6));
+        }
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << "\n";
+}
+
+double
+SweepRunner::totalJobSeconds(const std::vector<JobResult> &results)
+{
+    double s = 0;
+    for (const auto &res : results)
+        s += res.wall_s;
+    return s;
+}
+
+} // namespace sweep
+} // namespace ehpsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The parallel sweep engine.
+ *
+ * The paper's evaluation (Figs. 7-21) is a pile of *sweeps*: the
+ * same experiment repeated across product configs, partition modes,
+ * NPS interleave settings, or power policies. Each point is an
+ * independent simulation — its own EventQueue, its own Package, its
+ * own StatGroup tree — so the sweep is embarrassingly parallel.
+ *
+ * SweepRunner fans a vector of jobs across a fixed-size pool of
+ * std::jthread workers pulling from a mutex-protected work queue.
+ * Each job serializes its result into a JSON value via its own
+ * json::JsonWriter; exceptions (fatal() throws std::runtime_error)
+ * are captured into the job's result instead of aborting the sweep.
+ *
+ * Determinism contract: results are keyed and ordered by job index,
+ * never by completion order, and job outputs are formatted with the
+ * deterministic JsonWriter — so `workers == 1` and `workers == N`
+ * produce byte-identical dumpJson() output.
+ */
+
+#ifndef EHPSIM_SWEEP_SWEEP_RUNNER_HH
+#define EHPSIM_SWEEP_SWEEP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace ehpsim
+{
+namespace sweep
+{
+
+/** The outcome of one sweep job. */
+struct JobResult
+{
+    std::size_t index = 0;
+    std::string name;
+    bool ok = false;
+    /** Exception message when !ok; empty otherwise. */
+    std::string error;
+    /** The job's serialized JSON value; empty when !ok. */
+    std::string output;
+    /** Wall-clock seconds spent running the job. Measured for
+     *  operator feedback; deliberately NOT serialized by dumpJson()
+     *  so serial and parallel sweeps stay byte-identical. */
+    double wall_s = 0;
+};
+
+/** One independent simulation job. The callable must write exactly
+ *  one JSON value (normally an object) to the supplied writer. */
+struct SweepJob
+{
+    std::string name;
+    std::function<void(json::JsonWriter &)> fn;
+};
+
+class SweepRunner
+{
+  public:
+    /** @param workers Pool size; 0 means hardware_concurrency. */
+    explicit SweepRunner(unsigned workers = 0);
+
+    unsigned workers() const { return workers_; }
+
+    /** Append a job; @return its index (result ordering key). */
+    std::size_t addJob(std::string name,
+                       std::function<void(json::JsonWriter &)> fn);
+
+    std::size_t numJobs() const { return jobs_.size(); }
+
+    /**
+     * Run every job across the worker pool and block until all
+     * complete. Per-job exceptions land in JobResult::error; the
+     * sweep itself always finishes. May be called repeatedly (jobs
+     * accumulate; all run again).
+     */
+    std::vector<JobResult> run();
+
+    /**
+     * Serialize results as the ehpsim-sweep-v1 JSON document.
+     * Deterministic: depends only on job indices, names, and
+     * outputs — not on timing or completion order.
+     */
+    static void dumpJson(std::ostream &os, const std::string &sweep,
+                         const std::vector<JobResult> &results);
+
+    /** Total wall-clock seconds across all jobs in @p results. */
+    static double totalJobSeconds(const std::vector<JobResult> &results);
+
+  private:
+    unsigned workers_;
+    std::vector<SweepJob> jobs_;
+};
+
+} // namespace sweep
+} // namespace ehpsim
+
+#endif // EHPSIM_SWEEP_SWEEP_RUNNER_HH

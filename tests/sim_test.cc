@@ -108,6 +108,77 @@ TEST(EventQueue, RescheduleMovesEvent)
     EXPECT_EQ(log, (std::vector<int>{2, 1}));
 }
 
+TEST(EventQueue, DescheduleThenDeleteIsSafe)
+{
+    // Regression: skipDead() used to read ev->scheduled_ through the
+    // stale queue entry — a use-after-free when the owner deletes an
+    // event right after descheduling it. The queue must track dead
+    // entries by sequence number and never touch the event again.
+    EventQueue eq;
+    std::vector<int> log;
+    auto *doomed = new RecordingEvent(&log, 1);
+    RecordingEvent survivor(&log, 2);
+    eq.schedule(doomed, 100);
+    eq.schedule(&survivor, 200);
+    eq.deschedule(doomed);
+    delete doomed;      // owner frees it while the stale entry queues
+    eq.run();           // must drain without touching freed memory
+    EXPECT_EQ(log, std::vector<int>{2});
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleDeleteReuseSameTick)
+{
+    // Same shape, but the freed slot is immediately reused by a new
+    // event at the same tick — maximally confusing for any code that
+    // still dereferenced the stale pointer.
+    EventQueue eq;
+    std::vector<int> log;
+    auto *doomed = new RecordingEvent(&log, 1);
+    eq.schedule(doomed, 50);
+    eq.deschedule(doomed);
+    delete doomed;
+    auto *fresh = new RecordingEvent(&log, 3);
+    eq.schedule(fresh, 50);
+    eq.run();
+    EXPECT_EQ(log, std::vector<int>{3});
+    delete fresh;
+}
+
+TEST(EventQueue, RescheduleSelfDeletingEvent)
+{
+    // reschedule() must work for self-deleting events: the event
+    // still fires exactly once, at the new time, and is deleted by
+    // the queue as usual.
+    EventQueue eq;
+    int count = 0;
+    Tick fired_at = 0;
+    auto *ev = new LambdaEvent([&] {
+        ++count;
+        fired_at = eq.curTick();
+    });
+    eq.schedule(ev, 100);
+    eq.reschedule(ev, 400);
+    eq.reschedule(ev, 250);
+    eq.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(fired_at, 250u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.numProcessed(), 1u);
+}
+
+TEST(EventQueue, DescheduleSelfDeletingPanicsWithLeakMessage)
+{
+    EventQueue eq;
+    auto *ev = new LambdaEvent([] {});
+    eq.schedule(ev, 100);
+    EXPECT_DEATH(eq.deschedule(ev), "leak");
+    // In the parent the event is still queued; letting it fire frees
+    // it (the only way a self-deleting event may leave the queue).
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
 TEST(EventQueue, LambdaEventsSelfDelete)
 {
     EventQueue eq;
