@@ -5,6 +5,9 @@
  * separate memories (hipMalloc/hipMemcpy over the host link), and
  * (c) an APU with unified memory (zero copy). Sweeps the data size
  * to show the discrete node's copy overhead growing with footprint.
+ *
+ * Sweep-shaped: each data size is an independent SweepCase
+ * (--jobs N, --json FILE).
  */
 
 #include <benchmark/benchmark.h>
@@ -55,50 +58,66 @@ initKernelPost(std::uint64_t bytes)
     return w;
 }
 
+/** Run the pipeline on all three machines at one data size. */
 void
-report()
+sizeCase(std::uint64_t mb, bench::RowSink &sink)
 {
-    bench::printHeader(
-        "fig14", "CPU-only vs discrete GPU vs APU (unified memory)");
-
     const RooflineEngine cpu_only(epycCpuModel());
     const RooflineEngine discrete(mi250xNodeModel());
     const RooflineEngine apu(mi300aModel());
 
+    const auto w = initKernelPost(mb << 20);
+    const std::string x = std::to_string(mb) + "MB";
+
+    const auto rc = cpu_only.run(w, CouplingMode::coarseSync);
+    const auto rd = discrete.run(w, CouplingMode::coarseSync);
+    const auto ra = apu.run(w, CouplingMode::coarseSync);
+    sink.row("cpu_only", x, rc.total_s * 1e3, "ms");
+    sink.row("discrete_gpu", x, rd.total_s * 1e3, "ms");
+    sink.row("apu_unified", x, ra.total_s * 1e3, "ms");
+    sink.row("discrete_copy_time", x, rd.transferSeconds() * 1e3,
+             "ms");
+    sink.row("apu_copy_time", x, ra.transferSeconds() * 1e3, "ms");
+}
+
+void
+report(const bench::SweepArgs &args)
+{
+    bench::printHeader(
+        "fig14", "CPU-only vs discrete GPU vs APU (unified memory)");
+
+    const std::vector<std::uint64_t> sizes = {64, 256, 1024, 4096};
+    std::vector<bench::SweepCase> cases;
+    for (const std::uint64_t mb : sizes) {
+        cases.push_back({"size_" + std::to_string(mb) + "MB",
+                         [mb](bench::RowSink &s) { sizeCase(mb, s); }});
+    }
+
+    const auto outcomes = bench::runCases("fig14", cases, args);
+
     bool pass = true;
-    double last_copy_fraction = 0;
-    double rc_s = 0, rd_s = 0, ra_s = 0;
-    for (std::uint64_t mb : {64ull, 256ull, 1024ull, 4096ull}) {
-        const auto w = initKernelPost(mb << 20);
+    for (const std::uint64_t mb : sizes) {
         const std::string x = std::to_string(mb) + "MB";
-
-        const auto rc = cpu_only.run(w, CouplingMode::coarseSync);
-        const auto rd = discrete.run(w, CouplingMode::coarseSync);
-        const auto ra = apu.run(w, CouplingMode::coarseSync);
-        bench::printRow("fig14", "cpu_only", x, rc.total_s * 1e3,
-                        "ms");
-        bench::printRow("fig14", "discrete_gpu", x, rd.total_s * 1e3,
-                        "ms");
-        bench::printRow("fig14", "apu_unified", x, ra.total_s * 1e3,
-                        "ms");
-        bench::printRow("fig14", "discrete_copy_time", x,
-                        rd.transferSeconds() * 1e3, "ms");
-
+        const double rc = bench::findRow(outcomes, "cpu_only", x);
+        const double rd = bench::findRow(outcomes, "discrete_gpu", x);
+        const double ra = bench::findRow(outcomes, "apu_unified", x);
         // The APU always wins and never copies.
-        if (ra.total_s >= rd.total_s || ra.total_s >= rc.total_s)
+        if (ra <= 0 || ra >= rd || ra >= rc)
             pass = false;
-        if (ra.transferSeconds() != 0.0)
+        if (bench::findRow(outcomes, "apu_copy_time", x) != 0.0)
             pass = false;
-        last_copy_fraction = rd.transferSeconds() / rd.total_s;
-        rc_s = rc.total_s;
-        rd_s = rd.total_s;
-        ra_s = ra.total_s;
     }
     // At the largest size the discrete GPU beats the CPU despite the
     // copy tax, copies remain a visible cost, and the APU keeps the
     // GPU win without that tax.
-    if (!(rd_s < rc_s) || last_copy_fraction < 0.2 ||
-        ra_s > rd_s * (1.0 - last_copy_fraction) * 1.5) {
+    const std::string last = std::to_string(sizes.back()) + "MB";
+    const double rc_s = bench::findRow(outcomes, "cpu_only", last);
+    const double rd_s = bench::findRow(outcomes, "discrete_gpu", last);
+    const double ra_s = bench::findRow(outcomes, "apu_unified", last);
+    const double copy_fraction =
+        bench::findRow(outcomes, "discrete_copy_time", last) / rd_s;
+    if (!(rd_s < rc_s) || copy_fraction < 0.2 ||
+        ra_s > rd_s * (1.0 - copy_fraction) * 1.5) {
         pass = false;
     }
 
@@ -126,7 +145,8 @@ BENCHMARK(BM_RooflineRun);
 int
 main(int argc, char **argv)
 {
-    report();
+    const auto sweep_args = bench::parseSweepArgs(argc, argv);
+    report(sweep_args);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -6,8 +6,14 @@
  * link per pair plus PCIe host links. Reports p2p bandwidth and
  * latency, all-to-all exchange time, and bisection bandwidth.
  *
- * Sweep-shaped: each topology (and each all-to-all transfer size)
- * is an independent SweepCase (--jobs N, --json FILE).
+ * Also runs RCCL-style collective microbenchmarks per topology:
+ * all-reduce, all-gather, and broadcast through the comm engine
+ * with the ring and direct algorithms, reporting achieved
+ * algorithmic bandwidth and link busy fractions.
+ *
+ * Sweep-shaped: each topology, all-to-all transfer size, and
+ * (collective, algorithm) pair is an independent SweepCase
+ * (--jobs N, --json FILE).
  */
 
 #include <cmath>
@@ -15,9 +21,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "comm/comm_group.hh"
 #include "soc/node_topology.hh"
 
 using namespace ehpsim;
+using namespace ehpsim::comm;
 using namespace ehpsim::soc;
 
 namespace
@@ -76,6 +84,48 @@ allToAllCase(bool quad_node, std::uint64_t bytes,
              secondsFromTicks(a2a) * 1e3, "ms");
 }
 
+/**
+ * One collective microbenchmark: @p coll with @p algo over all the
+ * devices of one topology, reporting algbw and link busy fraction.
+ */
+void
+collectiveCase(bool quad_node, Collective coll, Algorithm algo,
+               std::uint64_t bytes, bench::RowSink &sink)
+{
+    SimObject root(nullptr, "root");
+    auto topo = quad_node ? NodeTopology::mi300aQuadNode(&root)
+                          : NodeTopology::mi300xOctoNode(&root);
+    EventQueue eq;
+    CommParams params;
+    params.chunk_bytes = 1 * MiB;
+    CommGroup group(topo.get(), "comm", topo->network(),
+                    topo->deviceRanks(), &eq, params);
+
+    OpHandle op;
+    switch (coll) {
+      case Collective::allReduce:
+        op = group.allReduce(0, bytes, algo);
+        break;
+      case Collective::allGather:
+        op = group.allGather(0, bytes, algo);
+        break;
+      case Collective::broadcast:
+        op = group.broadcast(0, 0, bytes, algo);
+        break;
+      default:
+        op = group.allToAll(0, bytes, algo);
+        break;
+    }
+    group.waitAll();
+
+    const std::string series = std::string(collectiveName(coll)) +
+                               (quad_node ? "_quad" : "_octo");
+    const std::string x = algorithmName(op->algorithm());
+    sink.row(series, x, op->algoBandwidth() / 1e9, "GB/s");
+    sink.row(series + "_busy", x, group.maxLinkUtilization(),
+             "fraction");
+}
+
 void
 report(const bench::SweepArgs &args)
 {
@@ -84,6 +134,27 @@ report(const bench::SweepArgs &args)
     std::vector<bench::SweepCase> cases;
     cases.push_back({"quad_node", quadCase});
     cases.push_back({"octo_node", octoCase});
+    // Collective microbenchmarks: 64 MiB per rank, both algorithms
+    // on both topologies.
+    for (const bool quad : {true, false}) {
+        for (const Collective coll :
+             {Collective::allReduce, Collective::allGather,
+              Collective::broadcast}) {
+            for (const Algorithm algo :
+                 {Algorithm::ring, Algorithm::direct}) {
+                const std::string name =
+                    std::string("coll_") +
+                    (quad ? "quad_" : "octo_") +
+                    collectiveName(coll) + "_" +
+                    algorithmName(algo);
+                cases.push_back(
+                    {name, [quad, coll, algo](bench::RowSink &s) {
+                         collectiveCase(quad, coll, algo, 64 * MiB,
+                                        s);
+                     }});
+            }
+        }
+    }
     cases.push_back({"a2a_quad_256MB", [](bench::RowSink &s) {
         allToAllCase(true, 256u << 20, "256MB", s);
     }});
@@ -99,15 +170,26 @@ report(const bench::SweepArgs &args)
 
     const auto outcomes = bench::runCases("fig18", cases, args);
 
+    // Analytic all-reduce bounds on the quad node (128 GB/s pair
+    // links): ring <= bw*N/(2(N-1)), direct <= bw*N/2.
+    const double ring_bw =
+        bench::findRow(outcomes, "all_reduce_quad", "ring");
+    const double direct_bw =
+        bench::findRow(outcomes, "all_reduce_quad", "direct");
+    const bool coll_ok = ring_bw > 0.7 * 128.0 * 4 / 6 &&
+                         ring_bw < 1.02 * 128.0 * 4 / 6 &&
+                         direct_bw > 2.0 * ring_bw;
+
     const bool pass =
         bench::findRow(outcomes, "quad_ok", "shape") == 1 &&
-        bench::findRow(outcomes, "octo_ok", "shape") == 1;
+        bench::findRow(outcomes, "octo_ok", "shape") == 1 && coll_ok;
 
     bench::shapeCheck(
         "fig18", pass,
         "quad-APU node: 2x16 IF per pair (128 GB/s), 2 links spare "
         "per socket; octo-MI300X node: fully connected at 64 GB/s "
-        "with the last link as PCIe to the host");
+        "with the last link as PCIe to the host; all-reduce tracks "
+        "the ring bound and direct wins on the dedicated links");
 }
 
 void

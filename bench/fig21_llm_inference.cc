@@ -10,13 +10,24 @@
  * Software stacks are modeled as sustained-efficiency factors on
  * the roofline (documented below); the hardware story — 192 GB @
  * 5.3 TB/s vs 80 GB @ 3.35 TB/s — comes from the machine models.
+ *
+ * On top of the single-device figure, a tensor-parallelism sweep
+ * shards the model over 1/2/4/8 sockets of the Fig. 18b octo node:
+ * every transformer layer ends in two all-reduces over the IF
+ * links, simulated through the comm engine (not closed-form), with
+ * the prefill-side all-reduce partially overlapped with compute.
+ *
+ * Sweep-shaped: each stack configuration and TP degree is an
+ * independent SweepCase (--jobs N, --json FILE).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "comm/comm_group.hh"
 #include "core/machine_model.hh"
 #include "core/roofline.hh"
+#include "soc/node_topology.hh"
 #include "workloads/generators.hh"
 
 using namespace ehpsim;
@@ -40,6 +51,27 @@ struct Stack
     gpu::DataType dtype;
 };
 
+// Efficiencies: vLLM was AMD's launch stack on MI300X (well tuned
+// there, generic on the baseline); TensorRT-LLM is the baseline
+// vendor's heavily optimized stack; its FP8 path gives up sustained
+// efficiency for the halved footprint (quantize / dequantize
+// epilogues, less mature kernels).
+constexpr Stack vllmMi300x = {"vLLM", 0.70, gpu::DataType::fp16};
+constexpr Stack vllmBase = {"vLLM", 0.40, gpu::DataType::fp16};
+constexpr Stack trtBase = {"TensorRT-LLM", 0.80, gpu::DataType::fp16};
+constexpr Stack trtFp8Base = {"TensorRT-LLM-FP8", 0.45,
+                              gpu::DataType::fp8};
+
+// Llama-2 70B shapes for the tensor-parallel communication model.
+constexpr unsigned llamaLayers = 80;
+constexpr unsigned llamaHidden = 8192;
+constexpr unsigned llamaInputTokens = 2048;
+constexpr unsigned llamaOutputTokens = 128;
+/** Megatron-style sharding: two all-reduces per transformer layer. */
+constexpr unsigned allReducesPerLayer = 2;
+/** Fraction of the prefill all-reduce hidden under compute. */
+constexpr double prefillOverlap = 0.5;
+
 double
 inferenceLatency(const MachineModel &machine, const Stack &stack)
 {
@@ -57,42 +89,115 @@ inferenceLatency(const MachineModel &machine, const Stack &stack)
     return rep.total_s;
 }
 
+/** One single-device latency configuration. */
 void
-report()
+latencyCase(const MachineModel &machine, const Stack &stack,
+            const std::string &label, bench::RowSink &sink)
+{
+    sink.row("latency", label, inferenceLatency(machine, stack) * 1e3,
+             "ms");
+}
+
+/**
+ * Tensor parallelism over @p tp sockets of the octo node. Compute
+ * shards ~1/tp; each layer pays two all-reduces of the activations,
+ * simulated on the IF fabric through the comm engine.
+ */
+void
+tensorParallelCase(unsigned tp, bench::RowSink &sink)
+{
+    const double t_one = inferenceLatency(mi300xModel(), vllmMi300x);
+    const std::string x = "tp" + std::to_string(tp);
+
+    double comm_exposed_s = 0;
+    double algbw_gbps = 0;
+    if (tp > 1) {
+        SimObject root(nullptr, "root");
+        auto topo = soc::NodeTopology::mi300xOctoNode(&root);
+        EventQueue eq;
+        std::vector<fabric::NodeId> ranks;
+        for (unsigned i = 0; i < tp; ++i)
+            ranks.push_back(topo->nodeId(i));
+        comm::CommParams params;
+        params.chunk_bytes = 1 * MiB;
+        comm::CommGroup group(topo.get(), "tp_comm", topo->network(),
+                              std::move(ranks), &eq, params);
+
+        // Prefill: activations are seq x hidden, fp16.
+        const std::uint64_t prefill_bytes =
+            std::uint64_t(llamaInputTokens) * llamaHidden * 2;
+        // Decode: one token's activations per step.
+        const std::uint64_t decode_bytes = llamaHidden * 2;
+
+        const auto pre = group.allReduce(0, prefill_bytes);
+        group.waitAll();
+        // Measure the decode all-reduce after the prefill traffic
+        // has fully drained off the links.
+        const auto dec =
+            group.allReduce(pre->finishTick(), decode_bytes);
+        group.waitAll();
+
+        const unsigned per_pass = llamaLayers * allReducesPerLayer;
+        const double prefill_comm_s = pre->seconds() * per_pass;
+        const double decode_comm_s =
+            dec->seconds() * per_pass * llamaOutputTokens;
+        // The big prefill all-reduces pipeline behind the next
+        // layer's GEMMs; the tiny decode ones are latency-bound and
+        // fully exposed.
+        comm_exposed_s = (1.0 - prefillOverlap) * prefill_comm_s +
+                         decode_comm_s;
+        algbw_gbps = pre->algoBandwidth() / 1e9;
+    }
+
+    const double latency_s = t_one / tp + comm_exposed_s;
+    sink.row("tp_latency", x, latency_s * 1e3, "ms");
+    sink.row("tp_comm_exposed", x, comm_exposed_s * 1e3, "ms");
+    sink.row("tp_comm_fraction", x, comm_exposed_s / latency_s,
+             "fraction");
+    if (tp > 1)
+        sink.row("tp_allreduce_algbw", x, algbw_gbps, "GB/s");
+}
+
+void
+report(const bench::SweepArgs &args)
 {
     bench::printHeader(
         "fig21", "Llama-2 70B inference latency (batch 1, "
                  "2048 in / 128 out)");
 
-    // Efficiencies: vLLM was AMD's launch stack on MI300X (well
-    // tuned there, generic on the baseline); TensorRT-LLM is the
-    // baseline vendor's heavily optimized stack; its FP8 path gives
-    // up sustained efficiency for the halved footprint (quantize /
-    // dequantize epilogues, less mature kernels).
-    const Stack vllm_mi300x = {"vLLM", 0.70, gpu::DataType::fp16};
-    const Stack vllm_base = {"vLLM", 0.40, gpu::DataType::fp16};
-    const Stack trt_base = {"TensorRT-LLM", 0.80,
-                            gpu::DataType::fp16};
-    const Stack trt_fp8_base = {"TensorRT-LLM-FP8", 0.45,
-                                gpu::DataType::fp8};
+    std::vector<bench::SweepCase> cases;
+    cases.push_back({"mi300x_vllm_fp16", [](bench::RowSink &s) {
+        latencyCase(mi300xModel(), vllmMi300x, "mi300x_vllm_fp16", s);
+    }});
+    cases.push_back({"baseline_vllm_fp16", [](bench::RowSink &s) {
+        latencyCase(baselineGpuModel(), vllmBase,
+                    "baseline_vllm_fp16", s);
+    }});
+    cases.push_back({"baseline_trtllm_fp16", [](bench::RowSink &s) {
+        latencyCase(baselineGpuModel(), trtBase,
+                    "baseline_trtllm_fp16", s);
+    }});
+    cases.push_back({"baseline_trtllm_fp8", [](bench::RowSink &s) {
+        latencyCase(baselineGpuModel(), trtFp8Base,
+                    "baseline_trtllm_fp8", s);
+    }});
+    for (const unsigned tp : {1u, 2u, 4u, 8u}) {
+        cases.push_back({"tensor_parallel_tp" + std::to_string(tp),
+                         [tp](bench::RowSink &s) {
+                             tensorParallelCase(tp, s);
+                         }});
+    }
 
-    const auto mi300x = mi300xModel();
-    const auto baseline = baselineGpuModel();
+    const auto outcomes = bench::runCases("fig21", cases, args);
 
-    const double t_mi300x = inferenceLatency(mi300x, vllm_mi300x);
-    const double t_base_vllm = inferenceLatency(baseline, vllm_base);
-    const double t_base_trt = inferenceLatency(baseline, trt_base);
+    const double t_mi300x =
+        bench::findRow(outcomes, "latency", "mi300x_vllm_fp16");
+    const double t_base_vllm =
+        bench::findRow(outcomes, "latency", "baseline_vllm_fp16");
+    const double t_base_trt =
+        bench::findRow(outcomes, "latency", "baseline_trtllm_fp16");
     const double t_base_fp8 =
-        inferenceLatency(baseline, trt_fp8_base);
-
-    bench::printRow("fig21", "latency", "mi300x_vllm_fp16",
-                    t_mi300x * 1e3, "ms");
-    bench::printRow("fig21", "latency", "baseline_vllm_fp16",
-                    t_base_vllm * 1e3, "ms");
-    bench::printRow("fig21", "latency", "baseline_trtllm_fp16",
-                    t_base_trt * 1e3, "ms");
-    bench::printRow("fig21", "latency", "baseline_trtllm_fp8",
-                    t_base_fp8 * 1e3, "ms");
+        bench::findRow(outcomes, "latency", "baseline_trtllm_fp8");
 
     const double vs_vllm = t_base_vllm / t_mi300x;
     const double vs_trt = t_base_trt / t_mi300x;
@@ -105,6 +210,8 @@ report()
                     vs_fp8, "x");
 
     // Capacity side of the story: FP16 weights fit MI300X only.
+    const auto mi300x = mi300xModel();
+    const auto baseline = baselineGpuModel();
     bench::printRow("fig21", "capacity", "weights_fp16_GB", 140.0,
                     "GB");
     bench::printRow("fig21", "capacity", "mi300x_GB",
@@ -114,18 +221,32 @@ report()
                     static_cast<double>(baseline.mem_capacity) / 1e9,
                     "GB");
 
+    const double tp1 = bench::findRow(outcomes, "tp_latency", "tp1");
+    const double tp8 = bench::findRow(outcomes, "tp_latency", "tp8");
+    const double frac2 =
+        bench::findRow(outcomes, "tp_comm_fraction", "tp2");
+    const double frac8 =
+        bench::findRow(outcomes, "tp_comm_fraction", "tp8");
+    // Sharding helps, but the all-reduces keep it sublinear and
+    // communication's share of the latency grows with TP degree.
+    const bool tp_ok = tp8 < tp1 && tp1 / tp8 < 8.0 &&
+                       frac8 > frac2 && frac2 > 0.0;
+
     const bool pass = vs_vllm > 2.0 &&
                       vs_trt > 1.15 && vs_trt < 1.7 &&
                       vs_fp8 > 1.0 &&
                       140e9 > static_cast<double>(
                                   baseline.mem_capacity) &&
                       140e9 < static_cast<double>(
-                                  mi300x.mem_capacity);
+                                  mi300x.mem_capacity) &&
+                      tp_ok;
     bench::shapeCheck(
         "fig21", pass,
         ">2x vs baseline vLLM, ~1.3x vs TensorRT-LLM, and still "
         "ahead in absolute latency when the baseline drops to FP8 "
-        "(vLLM has no FP8 path); FP16 weights only fit MI300X");
+        "(vLLM has no FP8 path); FP16 weights only fit MI300X; TP "
+        "over the octo node speeds inference sublinearly with a "
+        "growing all-reduce share");
 }
 
 void
@@ -146,7 +267,8 @@ BENCHMARK(BM_LlmRoofline);
 int
 main(int argc, char **argv)
 {
-    report();
+    const auto sweep_args = bench::parseSweepArgs(argc, argv);
+    report(sweep_args);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -13,16 +13,28 @@
  *              [--engine event|roofline] [--jobs N] [--json FILE]
  *              [--scale N] [--stats]
  *
+ *   ehpsim_cli comm [--topology quad|octo]
+ *              [--collective all_reduce|all_gather|reduce_scatter|
+ *               broadcast|all_to_all]
+ *              [--algos ring,direct,auto] [--sizes 1M,16M,64M]
+ *              [--jobs N] [--json FILE]
+ *
  * The sweep subcommand runs the products x workloads cross product
  * as independent jobs on a sweep::SweepRunner worker pool and emits
  * an ehpsim-sweep-v1 JSON document (stdout, or FILE with --json).
- * Output is byte-identical for any --jobs value.
+ * Output is byte-identical for any --jobs value. The comm
+ * subcommand does the same for collective microbenchmarks over the
+ * Fig. 18 node fabrics: each (algorithm, size) point simulates the
+ * collective as chunked transfers on the event queue and reports
+ * achieved algorithmic bandwidth and link utilization.
  *
  * Examples:
  *   ehpsim_cli --product mi300a --workload cfd --engine roofline
  *   ehpsim_cli --product mi300x --workload triad --partitions 8
  *   ehpsim_cli sweep --products mi300a,mi300x,mi250x \
  *       --workloads triad,gemm,cfd --jobs 8 --json sweep.json
+ *   ehpsim_cli comm --topology octo --collective all_reduce \
+ *       --algos ring,direct --sizes 1M,64M,256M --jobs 8
  */
 
 #include <cstdio>
@@ -34,11 +46,13 @@
 #include <string>
 #include <vector>
 
+#include "comm/comm_group.hh"
 #include "core/apu_system.hh"
 #include "core/machine_model.hh"
 #include "core/roofline.hh"
 #include "core/trace.hh"
 #include "sim/logging.hh"
+#include "soc/node_topology.hh"
 #include "sweep/sweep_runner.hh"
 #include "workloads/generators.hh"
 
@@ -74,8 +88,12 @@ usage(const char *argv0)
                  "       %s sweep [--products a,b,...] "
                  "[--workloads x,y,...]\n"
                  "          [--engine event|roofline] [--jobs N] "
-                 "[--json FILE] [--scale N] [--stats]\n",
-                 argv0, argv0);
+                 "[--json FILE] [--scale N] [--stats]\n"
+                 "       %s comm [--topology quad|octo] "
+                 "[--collective C] [--algos a,b,...]\n"
+                 "          [--sizes 1M,64M,...] [--jobs N] "
+                 "[--json FILE]\n",
+                 argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -317,6 +335,194 @@ sweepMain(int argc, char **argv)
     return failures == 0 ? 0 : 1;
 }
 
+/** Parse "64", "4K", "16M", "1G" into bytes. */
+std::uint64_t
+parseSize(const std::string &s)
+{
+    if (s.empty())
+        fatal("empty size");
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(s, &pos);
+    std::uint64_t mult = 1;
+    if (pos < s.size()) {
+        const char suffix = s[pos];
+        if (suffix == 'K' || suffix == 'k')
+            mult = KiB;
+        else if (suffix == 'M' || suffix == 'm')
+            mult = MiB;
+        else if (suffix == 'G' || suffix == 'g')
+            mult = GiB;
+        else
+            fatal("bad size suffix in '", s, "'");
+    }
+    return value * mult;
+}
+
+comm::Collective
+collectiveFor(const std::string &name)
+{
+    for (const auto c :
+         {comm::Collective::allReduce, comm::Collective::allGather,
+          comm::Collective::reduceScatter,
+          comm::Collective::broadcast, comm::Collective::allToAll}) {
+        if (name == comm::collectiveName(c))
+            return c;
+    }
+    fatal("unknown collective '", name, "'");
+}
+
+comm::Algorithm
+algorithmFor(const std::string &name)
+{
+    for (const auto a :
+         {comm::Algorithm::automatic, comm::Algorithm::ring,
+          comm::Algorithm::direct}) {
+        if (name == comm::algorithmName(a))
+            return a;
+    }
+    fatal("unknown algorithm '", name, "' (ring, direct, auto)");
+}
+
+/** Run one collective microbenchmark point and serialize it. */
+void
+runCommJob(const std::string &topology, comm::Collective coll,
+           comm::Algorithm algo, std::uint64_t bytes,
+           json::JsonWriter &jw)
+{
+    SimObject root(nullptr, "root");
+    auto topo = topology == "quad"
+                    ? soc::NodeTopology::mi300aQuadNode(&root)
+                    : soc::NodeTopology::mi300xOctoNode(&root);
+    EventQueue eq;
+    comm::CommParams params;
+    params.chunk_bytes = 1 * MiB;
+    comm::CommGroup group(topo.get(), "comm", topo->network(),
+                          topo->deviceRanks(), &eq, params);
+
+    comm::OpHandle op;
+    switch (coll) {
+      case comm::Collective::allReduce:
+        op = group.allReduce(0, bytes, algo);
+        break;
+      case comm::Collective::allGather:
+        op = group.allGather(0, bytes, algo);
+        break;
+      case comm::Collective::reduceScatter:
+        op = group.reduceScatter(0, bytes, algo);
+        break;
+      case comm::Collective::broadcast:
+        op = group.broadcast(0, 0, bytes, algo);
+        break;
+      default:
+        op = group.allToAll(0, bytes, algo);
+        break;
+    }
+    group.waitAll();
+
+    jw.beginObject();
+    jw.kv("topology", topology);
+    jw.kv("collective", comm::collectiveName(coll));
+    jw.kv("algorithm", comm::algorithmName(op->algorithm()));
+    jw.kv("ranks", static_cast<double>(group.numRanks()));
+    jw.kv("bytes", static_cast<double>(bytes));
+    jw.kv("seconds", op->seconds());
+    jw.kv("algbw_gbps", op->algoBandwidth() / 1e9);
+    jw.kv("link_bytes", static_cast<double>(op->linkBytes()));
+    jw.kv("max_link_busy", group.maxLinkUtilization());
+    jw.kv("avg_link_busy", group.avgLinkUtilization());
+    jw.endObject();
+}
+
+int
+commMain(int argc, char **argv)
+{
+    std::string topology = "quad";
+    std::string collective = "all_reduce";
+    std::vector<std::string> algos = {"ring", "direct"};
+    std::vector<std::string> sizes = {"1M", "16M", "64M"};
+    std::string json_path;
+    unsigned jobs = 1;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--topology")
+            topology = next();
+        else if (arg == "--collective")
+            collective = next();
+        else if (arg == "--algos")
+            algos = splitList(next());
+        else if (arg == "--sizes")
+            sizes = splitList(next());
+        else if (arg == "--jobs")
+            jobs = std::stoul(next());
+        else if (arg == "--json")
+            json_path = next();
+        else
+            usage(argv[0]);
+    }
+    if (topology != "quad" && topology != "octo")
+        fatal("unknown topology '", topology, "' (quad, octo)");
+    if (algos.empty() || sizes.empty() || jobs == 0)
+        usage(argv[0]);
+    const comm::Collective coll = collectiveFor(collective);
+
+    sweep::SweepRunner runner(jobs);
+    for (const auto &algo_name : algos) {
+        const comm::Algorithm algo = algorithmFor(algo_name);
+        for (const auto &size : sizes) {
+            const std::uint64_t bytes = parseSize(size);
+            runner.addJob(topology + "/" + collective + "/" +
+                              algo_name + "/" + size,
+                          [=](json::JsonWriter &jw) {
+                              runCommJob(topology, coll, algo, bytes,
+                                         jw);
+                          });
+        }
+    }
+
+    const auto results = runner.run();
+
+    std::fprintf(stderr,
+                 "comm: %zu jobs on %u workers, %.3f s of job time\n",
+                 results.size(), runner.workers(),
+                 sweep::SweepRunner::totalJobSeconds(results));
+    int failures = 0;
+    for (const auto &res : results) {
+        if (!res.ok) {
+            ++failures;
+            std::fprintf(stderr, "comm: job %zu (%s) failed: %s\n",
+                         res.index, res.name.c_str(),
+                         res.error.c_str());
+        }
+    }
+
+    if (json_path.empty()) {
+        sweep::SweepRunner::dumpJson(std::cout, "ehpsim_cli_comm",
+                                     results);
+    } else {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "comm: cannot open %s for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        sweep::SweepRunner::dumpJson(out, "ehpsim_cli_comm", results);
+        if (!out.flush()) {
+            std::fprintf(stderr, "comm: error writing %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "comm: JSON written to %s\n",
+                     json_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -324,6 +530,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return sweepMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "comm") == 0)
+        return commMain(argc, argv);
 
     const Options opt = parseArgs(argc, argv);
     const auto workload = workloadFor(opt.workload, opt.scale);

@@ -1,0 +1,566 @@
+#include "comm/comm_group.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace comm
+{
+
+const char *
+collectiveName(Collective c)
+{
+    switch (c) {
+      case Collective::allReduce:
+        return "all_reduce";
+      case Collective::allGather:
+        return "all_gather";
+      case Collective::reduceScatter:
+        return "reduce_scatter";
+      case Collective::broadcast:
+        return "broadcast";
+      case Collective::allToAll:
+        return "all_to_all";
+      case Collective::sendRecv:
+        return "send_recv";
+    }
+    panic("bad collective kind");
+}
+
+const char *
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::automatic:
+        return "auto";
+      case Algorithm::ring:
+        return "ring";
+      case Algorithm::direct:
+        return "direct";
+    }
+    panic("bad algorithm");
+}
+
+double
+CollectiveOp::algoBandwidth() const
+{
+    if (finish_ <= start_)
+        return 0.0;
+    return static_cast<double>(data_bytes_) /
+           secondsFromTicks(finish_ - start_);
+}
+
+CommGroup::CommGroup(SimObject *parent, const std::string &name,
+                     fabric::Network *net,
+                     std::vector<fabric::NodeId> ranks, EventQueue *eq,
+                     const CommParams &params)
+    : SimObject(parent, name, eq),
+      ops_started(this, "ops_started", "collectives launched"),
+      ops_completed(this, "ops_completed", "collectives finished"),
+      allreduce_bytes(this, "allreduce_bytes",
+                      "payload bytes all-reduced"),
+      allgather_bytes(this, "allgather_bytes",
+                      "payload bytes all-gathered"),
+      reduce_scatter_bytes(this, "reduce_scatter_bytes",
+                           "payload bytes reduce-scattered"),
+      broadcast_bytes(this, "broadcast_bytes",
+                      "payload bytes broadcast"),
+      all_to_all_bytes(this, "all_to_all_bytes",
+                       "payload bytes exchanged all-to-all"),
+      sendrecv_bytes(this, "sendrecv_bytes",
+                     "payload bytes sent point-to-point"),
+      link_bytes(this, "link_bytes",
+                 "bytes x hops placed on fabric links"),
+      algo_bw_gbps(this, "algo_bw_gbps",
+                   "achieved algorithmic bandwidth per op, GB/s"),
+      avg_link_busy(this, "avg_link_busy",
+                    "mean busy fraction over the group's links",
+                    [this] { return avgLinkUtilization(); }),
+      max_link_busy(this, "max_link_busy",
+                    "busy fraction of the group's busiest link",
+                    [this] { return maxLinkUtilization(); }),
+      net_(net),
+      ranks_(std::move(ranks)),
+      params_(params)
+{
+    if (!net_)
+        fatal("CommGroup '", name, "': null fabric network");
+    if (!eventq())
+        fatal("CommGroup '", name, "': no event queue (pass one "
+              "explicitly; collectives are event-driven)");
+    if (ranks_.empty())
+        fatal("CommGroup '", name, "': no ranks");
+    if (params_.chunk_bytes == 0)
+        fatal("CommGroup '", name, "': chunk_bytes must be nonzero");
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        if (ranks_[i] >= net_->numNodes())
+            fatal("CommGroup '", name, "': rank ", i,
+                  " maps to unknown fabric node ", ranks_[i]);
+        for (std::size_t j = i + 1; j < ranks_.size(); ++j) {
+            if (ranks_[i] == ranks_[j])
+                fatal("CommGroup '", name, "': ranks ", i, " and ", j,
+                      " share fabric node '",
+                      net_->nodeName(ranks_[i]), "'");
+        }
+    }
+    // Collect every directed link any rank pair routes over, in a
+    // deterministic first-encounter order.
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        for (std::size_t j = 0; j < ranks_.size(); ++j) {
+            if (i == j)
+                continue;
+            const auto &path = net_->path(ranks_[i], ranks_[j]);
+            for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+                fabric::Link *l = net_->link(path[h], path[h + 1]);
+                if (std::find(links_.begin(), links_.end(), l) ==
+                    links_.end()) {
+                    links_.push_back(l);
+                }
+            }
+        }
+    }
+}
+
+bool
+CommGroup::fullyConnected() const
+{
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        for (std::size_t j = i + 1; j < ranks_.size(); ++j) {
+            if (net_->hopCount(ranks_[i], ranks_[j]) != 1)
+                return false;
+        }
+    }
+    return true;
+}
+
+Algorithm
+CommGroup::choose(Collective coll, std::uint64_t bytes) const
+{
+    // With one or two ranks ring and direct coincide; point-to-point
+    // is always a direct route.
+    if (numRanks() <= 2 || coll == Collective::sendRecv)
+        return Algorithm::direct;
+    // Small payloads are latency-bound: direct has the fewest
+    // serialized steps (2 for all-reduce vs 2(N-1) for ring).
+    if (bytes <= params_.direct_threshold)
+        return Algorithm::direct;
+    // Large payloads: with a dedicated link per pair (Fig. 18),
+    // direct drives N-1 links per rank in parallel and beats the
+    // ring's single-neighbor stream. On sparser topologies direct
+    // routes collide on shared links, so pipeline around the ring.
+    return fullyConnected() ? Algorithm::direct : Algorithm::ring;
+}
+
+std::vector<std::uint64_t>
+CommGroup::splitEven(std::uint64_t bytes, unsigned parts)
+{
+    std::vector<std::uint64_t> out(parts, bytes / parts);
+    for (std::uint64_t i = 0; i < bytes % parts; ++i)
+        ++out[i];
+    return out;
+}
+
+std::vector<std::uint64_t>
+CommGroup::chunksOf(std::uint64_t bytes) const
+{
+    std::vector<std::uint64_t> out;
+    while (bytes > 0) {
+        const std::uint64_t c = std::min(bytes, params_.chunk_bytes);
+        out.push_back(c);
+        bytes -= c;
+    }
+    return out;
+}
+
+std::uint32_t
+CommGroup::addTask(CollectiveOp &op, unsigned src_rank,
+                   unsigned dst_rank, std::uint64_t bytes,
+                   const std::vector<std::uint32_t> &deps)
+{
+    const auto idx = static_cast<std::uint32_t>(op.tasks_.size());
+    CollectiveOp::Task t;
+    t.src = ranks_[src_rank];
+    t.dst = ranks_[dst_rank];
+    t.bytes = bytes;
+    t.deps = static_cast<unsigned>(deps.size());
+    op.tasks_.push_back(std::move(t));
+    for (std::uint32_t d : deps)
+        op.tasks_[d].dependents.push_back(idx);
+    return idx;
+}
+
+void
+CommGroup::buildRing(CollectiveOp &op, std::uint64_t bytes,
+                     unsigned root)
+{
+    const unsigned n = numRanks();
+    if (n < 2 || bytes == 0)
+        return;
+
+    switch (op.kind_) {
+      case Collective::allReduce:
+      case Collective::allGather:
+      case Collective::reduceScatter: {
+        // Shard the buffer; shard s starts on rank s and travels the
+        // ring. All-reduce = reduce-scatter pass plus all-gather
+        // pass: 2(N-1) hops; the single-pass collectives take N-1.
+        const unsigned steps = op.kind_ == Collective::allReduce
+                                   ? 2 * (n - 1)
+                                   : n - 1;
+        const auto shards = splitEven(bytes, n);
+        for (unsigned s = 0; s < n; ++s) {
+            for (std::uint64_t c : chunksOf(shards[s])) {
+                std::vector<std::uint32_t> prev;
+                for (unsigned i = 0; i < steps; ++i) {
+                    const unsigned src = (s + i) % n;
+                    const unsigned dst = (s + i + 1) % n;
+                    prev = {addTask(op, src, dst, c, prev)};
+                }
+            }
+        }
+        break;
+      }
+      case Collective::broadcast: {
+        // Chunks pipeline from the root around the ring.
+        for (std::uint64_t c : chunksOf(bytes)) {
+            std::vector<std::uint32_t> prev;
+            for (unsigned i = 0; i + 1 < n; ++i) {
+                const unsigned src = (root + i) % n;
+                const unsigned dst = (root + i + 1) % n;
+                prev = {addTask(op, src, dst, c, prev)};
+            }
+        }
+        break;
+      }
+      case Collective::allToAll: {
+        // Pairwise-exchange rounds: in round i every rank sends its
+        // block for rank r+i. Rounds are chained per sender, so the
+        // schedule keeps the round structure of the ring variant.
+        for (unsigned r = 0; r < n; ++r) {
+            const auto chunks = chunksOf(bytes);
+            std::vector<std::vector<std::uint32_t>> prev(
+                chunks.size());
+            for (unsigned i = 1; i < n; ++i) {
+                for (std::size_t k = 0; k < chunks.size(); ++k) {
+                    prev[k] = {addTask(op, r, (r + i) % n, chunks[k],
+                                       prev[k])};
+                }
+            }
+        }
+        break;
+      }
+      case Collective::sendRecv:
+        panic("sendRecv has no ring schedule");
+    }
+}
+
+void
+CommGroup::buildDirect(CollectiveOp &op, std::uint64_t bytes,
+                       unsigned root)
+{
+    const unsigned n = numRanks();
+    if (n < 2 || bytes == 0)
+        return;
+
+    switch (op.kind_) {
+      case Collective::allReduce: {
+        // Phase 1 (reduce-scatter): every rank sends its piece of
+        // shard s straight to rank s. Phase 2 (all-gather): rank s
+        // returns the reduced shard to everyone; per chunk, phase 2
+        // waits on all of that chunk's phase-1 arrivals.
+        const auto shards = splitEven(bytes, n);
+        for (unsigned s = 0; s < n; ++s) {
+            for (std::uint64_t c : chunksOf(shards[s])) {
+                std::vector<std::uint32_t> reduce_ids;
+                for (unsigned r = 0; r < n; ++r) {
+                    if (r != s)
+                        reduce_ids.push_back(addTask(op, r, s, c, {}));
+                }
+                for (unsigned d = 0; d < n; ++d) {
+                    if (d != s)
+                        addTask(op, s, d, c, reduce_ids);
+                }
+            }
+        }
+        break;
+      }
+      case Collective::allGather: {
+        const auto shards = splitEven(bytes, n);
+        for (unsigned s = 0; s < n; ++s) {
+            for (std::uint64_t c : chunksOf(shards[s])) {
+                for (unsigned d = 0; d < n; ++d) {
+                    if (d != s)
+                        addTask(op, s, d, c, {});
+                }
+            }
+        }
+        break;
+      }
+      case Collective::reduceScatter: {
+        const auto shards = splitEven(bytes, n);
+        for (unsigned s = 0; s < n; ++s) {
+            for (std::uint64_t c : chunksOf(shards[s])) {
+                for (unsigned r = 0; r < n; ++r) {
+                    if (r != s)
+                        addTask(op, r, s, c, {});
+                }
+            }
+        }
+        break;
+      }
+      case Collective::broadcast: {
+        for (std::uint64_t c : chunksOf(bytes)) {
+            for (unsigned d = 0; d < n; ++d) {
+                if (d != root)
+                    addTask(op, root, d, c, {});
+            }
+        }
+        break;
+      }
+      case Collective::allToAll: {
+        for (unsigned r = 0; r < n; ++r) {
+            for (unsigned d = 0; d < n; ++d) {
+                if (d == r)
+                    continue;
+                for (std::uint64_t c : chunksOf(bytes))
+                    addTask(op, r, d, c, {});
+            }
+        }
+        break;
+      }
+      case Collective::sendRecv:
+        panic("sendRecv is built by sendRecv()");
+    }
+}
+
+stats::Scalar &
+CommGroup::bytesCounter(Collective c)
+{
+    switch (c) {
+      case Collective::allReduce:
+        return allreduce_bytes;
+      case Collective::allGather:
+        return allgather_bytes;
+      case Collective::reduceScatter:
+        return reduce_scatter_bytes;
+      case Collective::broadcast:
+        return broadcast_bytes;
+      case Collective::allToAll:
+        return all_to_all_bytes;
+      case Collective::sendRecv:
+        return sendrecv_bytes;
+    }
+    panic("bad collective kind");
+}
+
+OpHandle
+CommGroup::start(Tick when, OpHandle op)
+{
+    op->start_ = std::max(when, eventq()->curTick());
+    op->finish_ = op->start_;
+    op->pending_ = op->tasks_.size();
+    op->started_ = true;
+
+    ++ops_started;
+    bytesCounter(op->kind_) += static_cast<double>(op->data_bytes_);
+
+    if (op->tasks_.empty()) {
+        completeOp(*op);
+        return op;
+    }
+    for (auto &t : op->tasks_)
+        t.ready = op->start_;
+    outstanding_.push_back(op);
+    for (std::uint32_t i = 0; i < op->tasks_.size(); ++i) {
+        if (op->tasks_[i].deps == 0)
+            scheduleTask(op, i);
+    }
+    return op;
+}
+
+void
+CommGroup::scheduleTask(const OpHandle &op, std::uint32_t idx)
+{
+    eventq()->scheduleLambda(op->tasks_[idx].ready,
+                             [this, op, idx] { runTask(op, idx); });
+}
+
+void
+CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
+{
+    CollectiveOp::Task &t = op->tasks_[idx];
+    const auto res =
+        net_->send(eventq()->curTick(), t.src, t.dst, t.bytes);
+    const auto moved =
+        t.bytes * static_cast<std::uint64_t>(res.hops);
+    op->link_bytes_ += moved;
+    link_bytes += static_cast<double>(moved);
+    op->finish_ = std::max(op->finish_, res.arrival);
+
+    for (std::uint32_t d : t.dependents) {
+        CollectiveOp::Task &dt = op->tasks_[d];
+        dt.ready = std::max(dt.ready, res.arrival);
+        if (--dt.deps == 0)
+            scheduleTask(op, d);
+    }
+    if (--op->pending_ == 0)
+        completeOp(*op);
+}
+
+void
+CommGroup::completeOp(CollectiveOp &op)
+{
+    ++ops_completed;
+    last_finish_ = std::max(last_finish_, op.finish_);
+    if (op.finish_ > op.start_)
+        algo_bw_gbps.sample(op.algoBandwidth() / 1e9);
+}
+
+OpHandle
+CommGroup::allReduce(Tick when, std::uint64_t bytes, Algorithm algo)
+{
+    auto op = std::make_shared<CollectiveOp>();
+    op->kind_ = Collective::allReduce;
+    op->algo_ = algo == Algorithm::automatic
+                    ? choose(op->kind_, bytes)
+                    : algo;
+    op->data_bytes_ = bytes;
+    if (op->algo_ == Algorithm::ring)
+        buildRing(*op, bytes, 0);
+    else
+        buildDirect(*op, bytes, 0);
+    return start(when, op);
+}
+
+OpHandle
+CommGroup::allGather(Tick when, std::uint64_t bytes, Algorithm algo)
+{
+    auto op = std::make_shared<CollectiveOp>();
+    op->kind_ = Collective::allGather;
+    op->algo_ = algo == Algorithm::automatic
+                    ? choose(op->kind_, bytes)
+                    : algo;
+    op->data_bytes_ = bytes;
+    if (op->algo_ == Algorithm::ring)
+        buildRing(*op, bytes, 0);
+    else
+        buildDirect(*op, bytes, 0);
+    return start(when, op);
+}
+
+OpHandle
+CommGroup::reduceScatter(Tick when, std::uint64_t bytes,
+                         Algorithm algo)
+{
+    auto op = std::make_shared<CollectiveOp>();
+    op->kind_ = Collective::reduceScatter;
+    op->algo_ = algo == Algorithm::automatic
+                    ? choose(op->kind_, bytes)
+                    : algo;
+    op->data_bytes_ = bytes;
+    if (op->algo_ == Algorithm::ring)
+        buildRing(*op, bytes, 0);
+    else
+        buildDirect(*op, bytes, 0);
+    return start(when, op);
+}
+
+OpHandle
+CommGroup::broadcast(Tick when, unsigned root, std::uint64_t bytes,
+                     Algorithm algo)
+{
+    if (root >= numRanks())
+        fatal("broadcast root ", root, " out of range (", numRanks(),
+              " ranks)");
+    auto op = std::make_shared<CollectiveOp>();
+    op->kind_ = Collective::broadcast;
+    op->algo_ = algo == Algorithm::automatic
+                    ? choose(op->kind_, bytes)
+                    : algo;
+    op->data_bytes_ = bytes;
+    if (op->algo_ == Algorithm::ring)
+        buildRing(*op, bytes, root);
+    else
+        buildDirect(*op, bytes, root);
+    return start(when, op);
+}
+
+OpHandle
+CommGroup::allToAll(Tick when, std::uint64_t bytes, Algorithm algo)
+{
+    auto op = std::make_shared<CollectiveOp>();
+    op->kind_ = Collective::allToAll;
+    op->algo_ = algo == Algorithm::automatic
+                    ? choose(op->kind_, bytes)
+                    : algo;
+    const unsigned n = numRanks();
+    op->data_bytes_ =
+        n < 2 ? 0 : bytes * n * static_cast<std::uint64_t>(n - 1);
+    if (op->algo_ == Algorithm::ring)
+        buildRing(*op, bytes, 0);
+    else
+        buildDirect(*op, bytes, 0);
+    return start(when, op);
+}
+
+OpHandle
+CommGroup::sendRecv(Tick when, unsigned src, unsigned dst,
+                    std::uint64_t bytes)
+{
+    if (src >= numRanks() || dst >= numRanks())
+        fatal("sendRecv ranks ", src, " -> ", dst, " out of range (",
+              numRanks(), " ranks)");
+    auto op = std::make_shared<CollectiveOp>();
+    op->kind_ = Collective::sendRecv;
+    op->algo_ = Algorithm::direct;
+    op->data_bytes_ = src == dst ? 0 : bytes;
+    if (src != dst) {
+        // Chunks are independent: per-link occupancy serializes them
+        // at the bottleneck while they pipeline across hops.
+        for (std::uint64_t c : chunksOf(bytes))
+            addTask(*op, src, dst, c, {});
+    }
+    return start(when, op);
+}
+
+Tick
+CommGroup::waitAll()
+{
+    std::erase_if(outstanding_,
+                  [](const OpHandle &op) { return op->done(); });
+    while (!outstanding_.empty()) {
+        if (!eventq()->step()) {
+            panic("CommGroup '", name(), "': event queue drained "
+                  "with ", outstanding_.size(),
+                  " collectives pending");
+        }
+        std::erase_if(outstanding_,
+                      [](const OpHandle &op) { return op->done(); });
+    }
+    return last_finish_;
+}
+
+double
+CommGroup::maxLinkUtilization() const
+{
+    double u = 0;
+    for (const fabric::Link *l : links_)
+        u = std::max(u, l->utilization());
+    return u;
+}
+
+double
+CommGroup::avgLinkUtilization() const
+{
+    if (links_.empty())
+        return 0.0;
+    double u = 0;
+    for (const fabric::Link *l : links_)
+        u += l->utilization();
+    return u / static_cast<double>(links_.size());
+}
+
+} // namespace comm
+} // namespace ehpsim

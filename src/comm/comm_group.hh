@@ -1,0 +1,259 @@
+/**
+ * @file
+ * RCCL-style collective communication over the node fabric.
+ *
+ * Paper Sec. VIII builds multi-socket nodes from the eight x16 IF
+ * links each MI300 socket exposes (Fig. 18). A CommGroup is the
+ * communicator a training/inference stack would create over such a
+ * node: a set of ranks (fabric nodes, normally whole sockets) that
+ * execute collectives — all-reduce, all-gather, reduce-scatter,
+ * broadcast, all-to-all, and point-to-point send/recv.
+ *
+ * Collectives are not closed-form formulas: each one is decomposed
+ * into chunked link transfers with explicit data dependencies and
+ * executed as events on the group's EventQueue. Transfers go through
+ * fabric::Network::send(), so they pay real per-hop serialization and
+ * occupancy — two collectives sharing an x16 link slow each other
+ * down, exactly the effect that dominates achieved inter-APU
+ * bandwidth on real MI300 systems.
+ *
+ * Two algorithms per collective, plus auto-selection:
+ *  - ring: ranks form a logical ring; payloads are sharded and
+ *    pipelined around it. Uses only neighbor links; the classic
+ *    bandwidth-optimal choice on sparse topologies. All-reduce moves
+ *    2(N-1)/N of the buffer over every ring link.
+ *  - direct: every transfer goes point-to-point over the (possibly
+ *    multi-hop) shortest path. On the fully-connected Fig. 18 nodes
+ *    each rank drives its N-1 dedicated links in parallel, and the
+ *    step count is minimal, so direct wins both the latency- and the
+ *    bandwidth-bound regimes there.
+ *  - automatic: direct for small payloads (fewest serialized steps)
+ *    or when every rank pair is one hop apart; ring otherwise.
+ */
+
+#ifndef EHPSIM_COMM_COMM_GROUP_HH
+#define EHPSIM_COMM_COMM_GROUP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/network.hh"
+#include "sim/sim_object.hh"
+#include "sim/units.hh"
+
+namespace ehpsim
+{
+namespace comm
+{
+
+enum class Collective
+{
+    allReduce,
+    allGather,
+    reduceScatter,
+    broadcast,
+    allToAll,
+    sendRecv,
+};
+
+const char *collectiveName(Collective c);
+
+enum class Algorithm
+{
+    automatic,      ///< pick by payload size and topology
+    ring,
+    direct,
+};
+
+const char *algorithmName(Algorithm a);
+
+/** Tuning knobs of a CommGroup. */
+struct CommParams
+{
+    /** Max bytes per scheduled link transfer (pipelining grain). */
+    std::uint64_t chunk_bytes = 4 * MiB;
+    /** Auto-selection: payloads at or below this go direct. */
+    std::uint64_t direct_threshold = 1 * MiB;
+};
+
+/**
+ * One in-flight (or finished) collective. Handles are shared between
+ * the caller and the scheduled events; inspect after waitAll().
+ */
+class CollectiveOp
+{
+  public:
+    Collective kind() const { return kind_; }
+
+    /** The resolved algorithm (never Algorithm::automatic). */
+    Algorithm algorithm() const { return algo_; }
+
+    /** The payload size the caller asked to move (per rank). */
+    std::uint64_t dataBytes() const { return data_bytes_; }
+
+    /** Bytes x hops actually placed on fabric links. */
+    std::uint64_t linkBytes() const { return link_bytes_; }
+
+    bool done() const { return started_ && pending_ == 0; }
+
+    Tick startTick() const { return start_; }
+
+    /** Completion tick; valid once done(). */
+    Tick finishTick() const { return finish_; }
+
+    double seconds() const { return secondsFromTicks(finish_ - start_); }
+
+    /**
+     * Algorithmic ("algbw") bandwidth: dataBytes / wall time, the
+     * figure of merit RCCL reports. For ring all-reduce this is
+     * bounded by link_bw * N / (2(N-1)).
+     */
+    double algoBandwidth() const;
+
+  private:
+    friend class CommGroup;
+
+    /** One chunk moving src -> dst once @c deps transfers finished. */
+    struct Task
+    {
+        fabric::NodeId src;
+        fabric::NodeId dst;
+        std::uint64_t bytes;
+        unsigned deps = 0;
+        Tick ready = 0;
+        std::vector<std::uint32_t> dependents;
+    };
+
+    Collective kind_ = Collective::allReduce;
+    Algorithm algo_ = Algorithm::direct;
+    std::uint64_t data_bytes_ = 0;
+    std::uint64_t link_bytes_ = 0;
+    bool started_ = false;
+    Tick start_ = 0;
+    Tick finish_ = 0;
+    std::size_t pending_ = 0;
+    std::vector<Task> tasks_;
+};
+
+using OpHandle = std::shared_ptr<CollectiveOp>;
+
+class CommGroup : public SimObject
+{
+  public:
+    /**
+     * @param net Fabric carrying the traffic (not owned).
+     * @param ranks Fabric node of each rank; rank i == ranks[i].
+     * @param eq Event queue the collectives are scheduled on.
+     */
+    CommGroup(SimObject *parent, const std::string &name,
+              fabric::Network *net, std::vector<fabric::NodeId> ranks,
+              EventQueue *eq, const CommParams &params = CommParams{});
+
+    unsigned numRanks() const
+    {
+        return static_cast<unsigned>(ranks_.size());
+    }
+
+    const CommParams &params() const { return params_; }
+
+    /** True when every rank pair is a single fabric hop apart. */
+    bool fullyConnected() const;
+
+    /** The algorithm automatic resolves to for @p bytes. */
+    Algorithm choose(Collective coll, std::uint64_t bytes) const;
+
+    /**
+     * @{
+     * Start a collective no earlier than @p when (clamped to the
+     * queue's current tick). Non-blocking: transfers are scheduled
+     * as events; drive the queue (waitAll()) to make progress.
+     * @p bytes is the per-rank buffer size: all-gather gathers
+     * @p bytes in total (each rank contributes bytes/N), all-to-all
+     * sends @p bytes from every rank to every other rank.
+     */
+    OpHandle allReduce(Tick when, std::uint64_t bytes,
+                       Algorithm algo = Algorithm::automatic);
+    OpHandle allGather(Tick when, std::uint64_t bytes,
+                       Algorithm algo = Algorithm::automatic);
+    OpHandle reduceScatter(Tick when, std::uint64_t bytes,
+                           Algorithm algo = Algorithm::automatic);
+    OpHandle broadcast(Tick when, unsigned root, std::uint64_t bytes,
+                       Algorithm algo = Algorithm::automatic);
+    OpHandle allToAll(Tick when, std::uint64_t bytes,
+                      Algorithm algo = Algorithm::automatic);
+    /** @} */
+
+    /** Point-to-point: @p bytes from rank @p src to rank @p dst. */
+    OpHandle sendRecv(Tick when, unsigned src, unsigned dst,
+                      std::uint64_t bytes);
+
+    /**
+     * Drive the event queue until every outstanding collective of
+     * this group completes. @return the latest finish tick seen.
+     */
+    Tick waitAll();
+
+    /** Busy fraction of the busiest link any rank pair routes over. */
+    double maxLinkUtilization() const;
+
+    /** Mean busy fraction over the group's links. */
+    double avgLinkUtilization() const;
+
+    /** @{ statistics */
+    stats::Scalar ops_started;
+    stats::Scalar ops_completed;
+    stats::Scalar allreduce_bytes;
+    stats::Scalar allgather_bytes;
+    stats::Scalar reduce_scatter_bytes;
+    stats::Scalar broadcast_bytes;
+    stats::Scalar all_to_all_bytes;
+    stats::Scalar sendrecv_bytes;
+    stats::Scalar link_bytes;
+    stats::Average algo_bw_gbps;
+    stats::Formula avg_link_busy;
+    stats::Formula max_link_busy;
+    /** @} */
+
+  private:
+    /** Split @p bytes into @p parts near-equal shards (some may be
+     *  zero when bytes < parts; zero shards schedule no traffic). */
+    static std::vector<std::uint64_t> splitEven(std::uint64_t bytes,
+                                                unsigned parts);
+
+    /** Split @p bytes into chunks of at most params_.chunk_bytes. */
+    std::vector<std::uint64_t> chunksOf(std::uint64_t bytes) const;
+
+    /** Append a task; wires dependencies. @return its index. */
+    std::uint32_t addTask(CollectiveOp &op, unsigned src_rank,
+                          unsigned dst_rank, std::uint64_t bytes,
+                          const std::vector<std::uint32_t> &deps);
+
+    void buildRing(CollectiveOp &op, std::uint64_t bytes,
+                   unsigned root);
+    void buildDirect(CollectiveOp &op, std::uint64_t bytes,
+                     unsigned root);
+
+    /** Record stats, clamp the start tick, schedule ready tasks. */
+    OpHandle start(Tick when, OpHandle op);
+
+    void scheduleTask(const OpHandle &op, std::uint32_t idx);
+    void runTask(const OpHandle &op, std::uint32_t idx);
+    void completeOp(CollectiveOp &op);
+
+    stats::Scalar &bytesCounter(Collective c);
+
+    fabric::Network *net_;
+    std::vector<fabric::NodeId> ranks_;
+    CommParams params_;
+    /** Every directed link some rank pair routes over. */
+    std::vector<fabric::Link *> links_;
+    std::vector<OpHandle> outstanding_;
+    Tick last_finish_ = 0;
+};
+
+} // namespace comm
+} // namespace ehpsim
+
+#endif // EHPSIM_COMM_COMM_GROUP_HH

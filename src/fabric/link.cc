@@ -74,6 +74,12 @@ Link::Link(SimObject *parent, const std::string &name,
       bytes_moved(this, "bytes_moved", "total bytes moved"),
       hp_transfers(this, "hp_transfers",
                    "high-priority (reserved VC) transfers"),
+      busy_frac(this, "busy_frac",
+                "busy ticks / observed wall ticks",
+                [this] { return utilization(); }),
+      achieved_gbps(this, "achieved_gbps",
+                    "achieved bandwidth first-to-last transfer, GB/s",
+                    [this] { return achievedBandwidth() / 1e9; }),
       params_(params),
       occupancy_(params.bandwidth / static_cast<double>(ticksPerSecond))
 {

@@ -84,6 +84,8 @@ class Link : public SimObject
     stats::Scalar transfers;
     stats::Scalar bytes_moved;
     stats::Scalar hp_transfers;
+    stats::Formula busy_frac;
+    stats::Formula achieved_gbps;
     /** @} */
 
   private:

@@ -16,34 +16,62 @@ NodeTopology::NodeTopology(SimObject *parent, const std::string &name)
 }
 
 unsigned
+NodeTopology::addEndpoint(const std::string &name, unsigned links,
+                          double x16_gbps, bool is_host)
+{
+    checkMutable("addSocket/addHost");
+    names_.push_back(name);
+    nodes_.push_back(net_->addNode(name, fabric::NodeKind::device));
+    total_links_.push_back(links);
+    used_links_.push_back(0);
+    link_gbps_.push_back(x16_gbps);
+    is_host_.push_back(is_host);
+    return static_cast<unsigned>(names_.size() - 1);
+}
+
+unsigned
 NodeTopology::addSocket(const std::string &name, unsigned num_x16_links,
                         double x16_gbps)
 {
-    names_.push_back(name);
-    nodes_.push_back(net_->addNode(name, fabric::NodeKind::device));
-    total_links_.push_back(num_x16_links);
-    used_links_.push_back(0);
-    link_gbps_.push_back(x16_gbps);
-    return static_cast<unsigned>(names_.size() - 1);
+    // Each MI300 socket physically exposes eight x16 links (four
+    // IF-only plus four IF-or-PCIe, paper Sec. VIII); anything else
+    // is a configuration bug, not a modeling choice.
+    if (num_x16_links == 0 || num_x16_links > mi300LinksPerSocket) {
+        fatal("socket '", name, "': ", num_x16_links,
+              " x16 links requested, but an MI300 socket exposes 1..",
+              mi300LinksPerSocket);
+    }
+    return addEndpoint(name, num_x16_links, x16_gbps, false);
 }
 
 unsigned
 NodeTopology::addHost(const std::string &name)
 {
     // Hosts hang off PCIe; give them ample lanes.
-    return addSocket(name, 16, 64.0);
+    return addEndpoint(name, 16, 64.0, true);
 }
 
 void
 NodeTopology::connect(unsigned a, unsigned b, unsigned num_x16,
                       bool pcie)
 {
+    checkMutable("connect");
     if (a >= numEndpoints() || b >= numEndpoints())
-        fatal("bad socket indices ", a, ", ", b);
-    if (used_links_[a] + num_x16 > total_links_[a] ||
-        used_links_[b] + num_x16 > total_links_[b]) {
-        fatal("socket out of x16 links: ", names_[a], " or ",
-              names_[b]);
+        fatal("bad socket indices ", a, ", ", b, " (",
+              numEndpoints(), " endpoints)");
+    if (a == b)
+        fatal("cannot connect '", names_[a], "' to itself");
+    if (num_x16 == 0)
+        fatal("connect('", names_[a], "', '", names_[b],
+              "'): zero x16 links");
+    for (unsigned e : {a, b}) {
+        if (used_links_[e] + num_x16 > total_links_[e]) {
+            fatal("socket '", names_[e], "' out of x16 links: "
+                  "connecting '", names_[a], "' <-> '", names_[b],
+                  "' needs ", num_x16, " but only ",
+                  total_links_[e] - used_links_[e], " of ",
+                  total_links_[e], " remain");
+        }
     }
     used_links_[a] += num_x16;
     used_links_[b] += num_x16;
@@ -61,6 +89,54 @@ unsigned
 NodeTopology::freeLinks(unsigned socket) const
 {
     return total_links_[socket] - used_links_[socket];
+}
+
+void
+NodeTopology::checkMutable(const char *what) const
+{
+    if (comm_) {
+        fatal(name(), ": ", what, " after commGroup(): the "
+              "communicator caches routes, so the topology is "
+              "frozen once it exists");
+    }
+}
+
+fabric::NodeId
+NodeTopology::nodeId(unsigned endpoint) const
+{
+    if (endpoint >= numEndpoints())
+        fatal("bad endpoint index ", endpoint);
+    return nodes_[endpoint];
+}
+
+bool
+NodeTopology::isHost(unsigned endpoint) const
+{
+    if (endpoint >= numEndpoints())
+        fatal("bad endpoint index ", endpoint);
+    return is_host_[endpoint];
+}
+
+std::vector<fabric::NodeId>
+NodeTopology::deviceRanks() const
+{
+    std::vector<fabric::NodeId> ranks;
+    for (unsigned i = 0; i < numEndpoints(); ++i) {
+        if (!is_host_[i])
+            ranks.push_back(nodes_[i]);
+    }
+    return ranks;
+}
+
+comm::CommGroup *
+NodeTopology::commGroup()
+{
+    if (!comm_) {
+        comm_eq_ = std::make_unique<EventQueue>();
+        comm_ = std::make_unique<comm::CommGroup>(
+            this, "comm", net_.get(), deviceRanks(), comm_eq_.get());
+    }
+    return comm_.get();
 }
 
 double
@@ -90,17 +166,13 @@ NodeTopology::p2pLatency(unsigned a, unsigned b)
 Tick
 NodeTopology::allToAll(Tick when, std::uint64_t bytes)
 {
-    Tick done = when;
-    for (unsigned a = 0; a < numEndpoints(); ++a) {
-        for (unsigned b = 0; b < numEndpoints(); ++b) {
-            if (a == b)
-                continue;
-            const auto r = net_->send(when, nodes_[a], nodes_[b],
-                                      bytes);
-            done = std::max(done, r.arrival);
-        }
-    }
-    return done;
+    // Every device socket streams its per-peer blocks directly;
+    // chunked transfers on the event queue contend per link rather
+    // than being summed in closed form.
+    comm::CommGroup *cg = commGroup();
+    const auto op = cg->allToAll(when, bytes, comm::Algorithm::direct);
+    cg->waitAll();
+    return op->finishTick();
 }
 
 double

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/comm_group.hh"
 #include "fabric/network.hh"
 #include "sim/sim_object.hh"
 
@@ -27,6 +28,9 @@ namespace ehpsim
 {
 namespace soc
 {
+
+/** x16 links (IF or IF/PCIe capable) an MI300 socket exposes. */
+constexpr unsigned mi300LinksPerSocket = 8;
 
 /** How a socket-to-socket connection is realized. */
 struct SocketLink
@@ -42,14 +46,20 @@ class NodeTopology : public SimObject
   public:
     NodeTopology(SimObject *parent, const std::string &name);
 
-    /** Add a socket (accelerator or APU). @return its index. */
+    /**
+     * Add a socket (accelerator or APU). @return its index.
+     * Fatal unless 1 <= @p num_x16_links <= mi300LinksPerSocket.
+     */
     unsigned addSocket(const std::string &name, unsigned num_x16_links,
                        double x16_gbps = 64.0);
 
-    /** Add a host CPU. @return its index. */
+    /** Add a host CPU (not subject to the socket link cap). */
     unsigned addHost(const std::string &name);
 
-    /** Connect two endpoints with @p num_x16 ganged x16 links. */
+    /**
+     * Connect two endpoints with @p num_x16 ganged x16 links.
+     * Fatal when either endpoint's link budget is exceeded.
+     */
     void connect(unsigned a, unsigned b, unsigned num_x16,
                  bool pcie = false);
 
@@ -59,6 +69,22 @@ class NodeTopology : public SimObject
     }
 
     fabric::Network *network() { return net_.get(); }
+
+    /** Fabric node of endpoint @p endpoint. */
+    fabric::NodeId nodeId(unsigned endpoint) const;
+
+    /** True when @p endpoint was added with addHost(). */
+    bool isHost(unsigned endpoint) const;
+
+    /** Fabric nodes of the non-host endpoints, in index order. */
+    std::vector<fabric::NodeId> deviceRanks() const;
+
+    /**
+     * The communicator over the node's device sockets (hosts are
+     * not ranks). Built on first use and driven by a topology-owned
+     * event queue; the topology is frozen from then on.
+     */
+    comm::CommGroup *commGroup();
 
     /** x16 links still unused on an endpoint. */
     unsigned freeLinks(unsigned socket) const;
@@ -73,8 +99,11 @@ class NodeTopology : public SimObject
     Tick p2pLatency(unsigned a, unsigned b);
 
     /**
-     * Simulate an all-to-all exchange where every socket sends
-     * @p bytes to every other socket. @return completion ticks.
+     * Simulate an all-to-all exchange where every device socket
+     * sends @p bytes to every other. Backed by the comm engine
+     * (direct algorithm over the event queue), so repeated or
+     * overlapping exchanges contend for links. @return completion
+     * ticks.
      */
     Tick allToAll(Tick when, std::uint64_t bytes);
 
@@ -90,13 +119,22 @@ class NodeTopology : public SimObject
     mi300xOctoNode(SimObject *parent);
 
   private:
+    unsigned addEndpoint(const std::string &name, unsigned links,
+                         double x16_gbps, bool is_host);
+
+    /** Fatal when the comm group already froze the topology. */
+    void checkMutable(const char *what) const;
+
     std::unique_ptr<fabric::Network> net_;
     std::vector<std::string> names_;
     std::vector<fabric::NodeId> nodes_;
     std::vector<unsigned> total_links_;
     std::vector<unsigned> used_links_;
     std::vector<double> link_gbps_;
+    std::vector<bool> is_host_;
     std::vector<SocketLink> connections_;
+    std::unique_ptr<EventQueue> comm_eq_;
+    std::unique_ptr<comm::CommGroup> comm_;
 };
 
 } // namespace soc

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the collective-communication engine: algorithmic
+ * bandwidth against analytic bounds, link contention between
+ * concurrent collectives, algorithm auto-selection, and determinism
+ * of collective sweeps under worker-pool parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "comm/comm_group.hh"
+#include "soc/node_topology.hh"
+#include "sweep/sweep_runner.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::comm;
+using namespace ehpsim::soc;
+
+namespace
+{
+
+/** Per-direction bandwidth of a quad-node socket pair (2x x16). */
+constexpr double quadPairBw = 128e9;
+
+/** Fine chunking keeps pipeline fill/drain small vs. total time. */
+CommParams
+fineGrained()
+{
+    CommParams p;
+    p.chunk_bytes = 1 * MiB;
+    return p;
+}
+
+/** A 4-socket node connected only as a ring (no diagonals). */
+std::unique_ptr<NodeTopology>
+makeRingOnlyQuad(SimObject *root)
+{
+    auto node = std::make_unique<NodeTopology>(root, "ring_quad");
+    for (unsigned i = 0; i < 4; ++i)
+        node->addSocket("s" + std::to_string(i), 8);
+    for (unsigned i = 0; i < 4; ++i)
+        node->connect(i, (i + 1) % 4, 2, false);
+    return node;
+}
+
+/** Run one all-reduce on a fresh quad node; @return the op. */
+OpHandle
+quadAllReduce(std::uint64_t bytes, Algorithm algo)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq, fineGrained());
+    auto op = group.allReduce(0, bytes, algo);
+    group.waitAll();
+    return op;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Algorithmic bandwidth vs. analytic bounds
+// ---------------------------------------------------------------------
+
+TEST(CommAllReduce, RingMatchesAlgbwBound)
+{
+    // Ring all-reduce moves 2(N-1)/N of the buffer over every ring
+    // link, so algbw is bounded by link_bw * N / (2(N-1)).
+    const std::uint64_t bytes = 64 * MiB;
+    const auto op = quadAllReduce(bytes, Algorithm::ring);
+    ASSERT_TRUE(op->done());
+    EXPECT_EQ(op->algorithm(), Algorithm::ring);
+
+    const double bound = quadPairBw * 4.0 / (2.0 * 3.0);
+    EXPECT_LT(op->algoBandwidth(), 1.02 * bound);
+    EXPECT_GT(op->algoBandwidth(), 0.80 * bound);
+
+    // 2(N-1)/N scaling, exactly: bytes * hops placed on links.
+    EXPECT_EQ(op->linkBytes(), 6 * bytes);
+}
+
+TEST(CommAllReduce, DirectBeatsRingOnFullyConnected)
+{
+    // Direct reduce-scatter + all-gather drives all N-1 dedicated
+    // links per rank in parallel: algbw bound = link_bw * N / 2.
+    const std::uint64_t bytes = 64 * MiB;
+    const auto ring = quadAllReduce(bytes, Algorithm::ring);
+    const auto direct = quadAllReduce(bytes, Algorithm::direct);
+    ASSERT_TRUE(direct->done());
+
+    const double bound = quadPairBw * 4.0 / 2.0;
+    EXPECT_LT(direct->algoBandwidth(), 1.02 * bound);
+    EXPECT_GT(direct->algoBandwidth(), 0.80 * bound);
+
+    // Same total traffic as the ring, spread over 3x the links.
+    EXPECT_EQ(direct->linkBytes(), 6 * bytes);
+    EXPECT_GT(direct->algoBandwidth(), 2.0 * ring->algoBandwidth());
+}
+
+TEST(CommAllReduce, SecondsAndTicksAgree)
+{
+    const auto op = quadAllReduce(8 * MiB, Algorithm::ring);
+    EXPECT_GT(op->finishTick(), op->startTick());
+    EXPECT_DOUBLE_EQ(op->seconds(),
+                     secondsFromTicks(op->finishTick() -
+                                      op->startTick()));
+}
+
+// ---------------------------------------------------------------------
+// Contention: concurrent collectives on shared links
+// ---------------------------------------------------------------------
+
+TEST(CommContention, ConcurrentAllReducesSlowEachOther)
+{
+    const std::uint64_t bytes = 16 * MiB;
+    const auto solo = quadAllReduce(bytes, Algorithm::ring);
+    const double t_solo = solo->seconds();
+    ASSERT_GT(t_solo, 0.0);
+
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq, fineGrained());
+    auto a = group.allReduce(0, bytes, Algorithm::ring);
+    auto b = group.allReduce(0, bytes, Algorithm::ring);
+    group.waitAll();
+    ASSERT_TRUE(a->done());
+    ASSERT_TRUE(b->done());
+
+    // Both contend for the same ring links: each must be slower
+    // than when run alone, and together they cannot beat 2x the
+    // solo traffic through the same bottleneck.
+    EXPECT_GT(a->seconds(), 1.4 * t_solo);
+    EXPECT_GT(b->seconds(), 1.4 * t_solo);
+    const double makespan = secondsFromTicks(
+        std::max(a->finishTick(), b->finishTick()));
+    EXPECT_GT(makespan, 1.8 * t_solo);
+    EXPECT_LT(makespan, 2.6 * t_solo);
+}
+
+TEST(CommContention, DisjointPairsDoNotContend)
+{
+    // sendRecv 0->1 and 2->3 use disjoint dedicated links: running
+    // them together costs the same as one alone.
+    const std::uint64_t bytes = 32 * MiB;
+    Tick t_solo = 0;
+    {
+        SimObject root(nullptr, "root");
+        auto node = NodeTopology::mi300aQuadNode(&root);
+        EventQueue eq;
+        CommGroup group(node.get(), "comm", node->network(),
+                        node->deviceRanks(), &eq);
+        auto op = group.sendRecv(0, 0, 1, bytes);
+        group.waitAll();
+        t_solo = op->finishTick();
+    }
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq);
+    auto a = group.sendRecv(0, 0, 1, bytes);
+    auto b = group.sendRecv(0, 2, 3, bytes);
+    group.waitAll();
+    EXPECT_EQ(a->finishTick(), t_solo);
+    EXPECT_EQ(b->finishTick(), t_solo);
+}
+
+// ---------------------------------------------------------------------
+// Algorithm selection and basic collective semantics
+// ---------------------------------------------------------------------
+
+TEST(CommChoose, SizeAndTopologyDriveSelection)
+{
+    SimObject root(nullptr, "root");
+    EventQueue eq;
+
+    auto quad = NodeTopology::mi300aQuadNode(&root);
+    CommGroup on_full(quad.get(), "comm", quad->network(),
+                      quad->deviceRanks(), &eq);
+    EXPECT_TRUE(on_full.fullyConnected());
+    // Fully connected: direct wins at every size.
+    EXPECT_EQ(on_full.choose(Collective::allReduce, 1 * KiB),
+              Algorithm::direct);
+    EXPECT_EQ(on_full.choose(Collective::allReduce, 256 * MiB),
+              Algorithm::direct);
+
+    auto ring = makeRingOnlyQuad(&root);
+    CommGroup on_ring(ring.get(), "comm", ring->network(),
+                      ring->deviceRanks(), &eq);
+    EXPECT_FALSE(on_ring.fullyConnected());
+    // Sparse: small payloads go direct (latency), large go ring.
+    EXPECT_EQ(on_ring.choose(Collective::allReduce, 1 * KiB),
+              Algorithm::direct);
+    EXPECT_EQ(on_ring.choose(Collective::allReduce, 256 * MiB),
+              Algorithm::ring);
+    EXPECT_EQ(on_ring.choose(Collective::sendRecv, 256 * MiB),
+              Algorithm::direct);
+
+    const auto op = on_ring.allReduce(0, 256 * MiB);
+    on_ring.waitAll();
+    EXPECT_EQ(op->algorithm(), Algorithm::ring);
+}
+
+TEST(CommCollectives, EveryKindCompletesAndCounts)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq);
+
+    const std::uint64_t bytes = 8 * MiB;
+    auto ag = group.allGather(0, bytes);
+    auto rs = group.reduceScatter(0, bytes);
+    auto bc = group.broadcast(0, 2, bytes);
+    auto aa = group.allToAll(0, bytes);
+    auto sr = group.sendRecv(0, 1, 3, bytes);
+    group.waitAll();
+
+    for (const auto &op : {ag, rs, bc, aa, sr})
+        EXPECT_TRUE(op->done());
+    EXPECT_DOUBLE_EQ(group.ops_completed.value(), 5.0);
+    EXPECT_DOUBLE_EQ(group.allgather_bytes.value(),
+                     static_cast<double>(bytes));
+    EXPECT_DOUBLE_EQ(group.reduce_scatter_bytes.value(),
+                     static_cast<double>(bytes));
+    EXPECT_DOUBLE_EQ(group.broadcast_bytes.value(),
+                     static_cast<double>(bytes));
+    // all-to-all: every rank sends bytes to every other rank.
+    EXPECT_DOUBLE_EQ(group.all_to_all_bytes.value(),
+                     static_cast<double>(12 * bytes));
+    EXPECT_DOUBLE_EQ(group.sendrecv_bytes.value(),
+                     static_cast<double>(bytes));
+    EXPECT_GT(group.maxLinkUtilization(), 0.0);
+    EXPECT_GE(group.maxLinkUtilization(),
+              group.avgLinkUtilization());
+}
+
+TEST(CommCollectives, SmallSendRecvPaysLinkLatency)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq);
+    auto op = group.sendRecv(0, 0, 1, 64);
+    group.waitAll();
+    // One hop on a 30 ns serdes IF link dominates 64 B of
+    // serialization.
+    EXPECT_GE(op->finishTick(), 30'000u);
+    EXPECT_LT(op->finishTick(), 40'000u);
+}
+
+TEST(CommCollectives, ZeroBytesAndBadRanksAreHandled)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq);
+    auto op = group.allReduce(1000, 0);
+    EXPECT_TRUE(op->done());
+    EXPECT_EQ(op->finishTick(), op->startTick());
+    EXPECT_THROW(group.broadcast(0, 7, 1 * MiB),
+                 std::runtime_error);
+    EXPECT_THROW(group.sendRecv(0, 0, 9, 1 * MiB),
+                 std::runtime_error);
+}
+
+TEST(CommGroupCtor, RejectsBadRankSets)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    EXPECT_THROW(CommGroup(node.get(), "c0", node->network(), {},
+                           &eq),
+                 std::runtime_error);
+    EXPECT_THROW(CommGroup(node.get(), "c1", node->network(),
+                           {0, 1, 0}, &eq),
+                 std::runtime_error);
+    EXPECT_THROW(CommGroup(node.get(), "c2", node->network(),
+                           {0, 99}, &eq),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// NodeTopology integration
+// ---------------------------------------------------------------------
+
+TEST(CommTopology, CommGroupFreezesTopology)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    auto *cg = node->commGroup();
+    ASSERT_NE(cg, nullptr);
+    EXPECT_EQ(cg->numRanks(), 4u);
+    EXPECT_EQ(node->commGroup(), cg);
+    EXPECT_THROW(node->addSocket("late", 8), std::runtime_error);
+    EXPECT_THROW(node->connect(0, 1, 1), std::runtime_error);
+}
+
+TEST(CommTopology, OctoCommGroupExcludesHosts)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300xOctoNode(&root);
+    EXPECT_EQ(node->numEndpoints(), 10u);
+    EXPECT_FALSE(node->isHost(0));
+    EXPECT_TRUE(node->isHost(8));
+    EXPECT_TRUE(node->isHost(9));
+    EXPECT_EQ(node->commGroup()->numRanks(), 8u);
+    EXPECT_TRUE(node->commGroup()->fullyConnected());
+}
+
+TEST(CommTopology, AllToAllBackedByCommEngine)
+{
+    SimObject root(nullptr, "root");
+    auto node = NodeTopology::mi300aQuadNode(&root);
+    const Tick done = node->allToAll(0, 16 * MiB);
+    EXPECT_GT(done, 0u);
+    EXPECT_DOUBLE_EQ(node->commGroup()->ops_completed.value(), 1.0);
+    // Repeated exchanges keep advancing the comm clock.
+    const Tick done2 = node->allToAll(0, 16 * MiB);
+    EXPECT_GT(done2, done);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: collective sweeps under a worker pool
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+runCollectiveSweep(unsigned jobs)
+{
+    sweep::SweepRunner runner(jobs);
+    const std::uint64_t sizes[] = {4 * MiB, 8 * MiB, 16 * MiB,
+                                   32 * MiB};
+    for (const std::uint64_t bytes : sizes) {
+        for (const Algorithm algo :
+             {Algorithm::ring, Algorithm::direct}) {
+            const std::string name =
+                std::string("allreduce/") + algorithmName(algo) +
+                "/" + std::to_string(bytes);
+            runner.addJob(name, [bytes, algo](json::JsonWriter &jw) {
+                const auto op = quadAllReduce(bytes, algo);
+                jw.beginObject();
+                jw.kv("bytes", static_cast<double>(bytes));
+                jw.kv("algorithm", algorithmName(op->algorithm()));
+                jw.kv("finish_ticks",
+                      static_cast<double>(op->finishTick()));
+                jw.kv("algbw_gbps", op->algoBandwidth() / 1e9);
+                jw.endObject();
+            });
+        }
+    }
+    const auto results = runner.run();
+    std::ostringstream os;
+    sweep::SweepRunner::dumpJson(os, "comm_sweep", results);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(CommSweep, WorkerCountDoesNotChangeJson)
+{
+    const std::string serial = runCollectiveSweep(1);
+    const std::string parallel = runCollectiveSweep(4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
