@@ -1,6 +1,7 @@
 #include "coherence/gpu_directory.hh"
 
 #include "sim/logging.hh"
+#include "sim/ordered.hh"
 
 namespace ehpsim
 {
@@ -143,8 +144,10 @@ GpuDirectory::holders(Addr addr) const
 bool
 GpuDirectory::invariantsHold() const
 {
-    for (const auto &kv : dir_) {
-        const Entry &e = kv.second;
+    // Sorted traversal so any diagnostic built on this walk stays
+    // deterministic (dir_ itself iterates in hash order).
+    for (const Addr line : sortedKeys(dir_)) {
+        const Entry &e = dir_.at(line);
         if (e.sharers == 0)
             return false;
         if (e.modified) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/ordered.hh"
 
 namespace ehpsim
 {
@@ -266,8 +267,11 @@ ProbeFilter::owner(Addr addr) const
 bool
 ProbeFilter::invariantsHold() const
 {
-    for (const auto &kv : dir_) {
-        const DirEntry &e = kv.second;
+    // Sorted traversal: the check is order-insensitive today, but
+    // any future diagnostic (first failing line, JSON dump) must not
+    // inherit hash order.
+    for (const Addr line : sortedKeys(dir_)) {
+        const DirEntry &e = dir_.at(line);
         if (e.state == State::invalid)
             return false;
         if (e.sharers == 0)

@@ -15,7 +15,10 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "sim/ordered.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
@@ -141,6 +144,33 @@ class OccupancyTracker
 
     /** Latest completion handed out (diagnostic only). */
     Tick nextFree() const { return last_done_; }
+
+    /**
+     * (window start tick, bytes consumed) pairs in ascending window
+     * order — the deterministic way to inspect the tracker. The
+     * backing maps are unordered and must never be iterated
+     * directly by anything that feeds stats or JSON output.
+     */
+    std::vector<std::pair<Tick, double>>
+    windowLoads() const
+    {
+        std::vector<std::pair<Tick, double>> out;
+        out.reserve(used_.size());
+        for (const std::uint64_t w : sortedKeys(used_))
+            out.emplace_back(w * window_, used_.at(w));
+        return out;
+    }
+
+    /** Bytes consumed across all windows. Sums in window order so
+     *  the floating-point total is byte-stable run to run. */
+    double
+    totalBytes() const
+    {
+        double sum = 0;
+        for (const auto &[start, bytes] : windowLoads())
+            sum += bytes;
+        return sum;
+    }
 
     void
     reset()

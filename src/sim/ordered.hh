@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic traversal of unordered containers.
+ *
+ * std::unordered_map/_set iterate in hash order, which varies with
+ * insertion history, libstdc++ version, and (via pointer hashing)
+ * ASLR — so hash-order traversal must never feed stats, JSON, or
+ * event scheduling. ehpsim-lint's unordered-iter rule flags every
+ * such loop; this header is the sanctioned fix: collect the keys,
+ * sort them, and traverse in key order. The collection loop below is
+ * order-insensitive (it only gathers keys), which is exactly why it
+ * carries the one allow() in the tree for this rule.
+ */
+
+#ifndef EHPSIM_SIM_ORDERED_HH
+#define EHPSIM_SIM_ORDERED_HH
+
+#include <algorithm>
+#include <vector>
+
+namespace ehpsim
+{
+
+/**
+ * The keys of any map-like container, sorted ascending. Use this to
+ * drive deterministic traversal:
+ *
+ *     for (const auto &k : sortedKeys(dir_)) { ... dir_.at(k) ... }
+ */
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map &map)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(map.size());
+    // ehpsim-lint: allow(unordered-iter)
+    for (const auto &kv : map)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+/**
+ * The elements of any set-like container, sorted ascending.
+ */
+template <typename Set>
+std::vector<typename Set::key_type>
+sortedValues(const Set &set)
+{
+    std::vector<typename Set::key_type> vals;
+    vals.reserve(set.size());
+    // ehpsim-lint: allow(unordered-iter)
+    for (const auto &v : set)
+        vals.push_back(v);
+    std::sort(vals.begin(), vals.end());
+    return vals;
+}
+
+} // namespace ehpsim
+
+#endif // EHPSIM_SIM_ORDERED_HH

@@ -262,5 +262,15 @@ StatGroup::findStat(const std::string &name) const
     return nullptr;
 }
 
+void
+StatGroup::addStat(StatBase *stat)
+{
+    if (findStat(stat->name())) {
+        panic("stat '", stat->name(), "' registered twice in group '",
+              statPath(), "' — stat paths must be unique");
+    }
+    stats_.push_back(stat);
+}
+
 } // namespace stats
 } // namespace ehpsim

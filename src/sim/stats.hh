@@ -218,7 +218,9 @@ class StatGroup
   private:
     friend class StatBase;
 
-    void addStat(StatBase *stat) { stats_.push_back(stat); }
+    /** Register @p stat; panics if the name is already taken in
+     *  this group (the runtime twin of ehpsim-lint's dup-stat). */
+    void addStat(StatBase *stat);
 
     StatGroup *parent_;
     std::string name_;

@@ -1,10 +1,11 @@
 #include "sweep/sweep_runner.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <thread>
+
+#include "sim/wall_timer.hh"
 
 namespace ehpsim
 {
@@ -71,7 +72,9 @@ SweepRunner::run()
             JobResult &res = results[idx];
             res.index = idx;
             res.name = jobs_[idx].name;
-            const auto start = std::chrono::steady_clock::now();
+            // Host-side timing for operator feedback only; wall_s
+            // never enters the deterministic dumpJson() payload.
+            const WallTimer timer;
             std::ostringstream payload;
             try {
                 json::JsonWriter jw(payload);
@@ -87,9 +90,7 @@ SweepRunner::run()
                 res.error = "unknown exception";
                 res.output.clear();
             }
-            const auto end = std::chrono::steady_clock::now();
-            res.wall_s =
-                std::chrono::duration<double>(end - start).count();
+            res.wall_s = timer.seconds();
         }
     };
 

@@ -160,8 +160,9 @@ TEST_P(ProbeFilterRandom, InvariantsUnderRandomTraffic)
             pf.write(agent, addr);
         else
             pf.evict(agent, addr);
-        if (i % 500 == 0)
+        if (i % 500 == 0) {
             ASSERT_TRUE(pf.invariantsHold()) << "iteration " << i;
+        }
     }
     EXPECT_TRUE(pf.invariantsHold());
     EXPECT_LE(pf.trackedLines(), 256u);
@@ -183,8 +184,9 @@ TEST(ProbeFilter, SingleWriterInvariant)
         else
             pf.read(a, addr);
         const auto st = pf.lineState(addr);
-        if (st == State::modified || st == State::exclusive)
+        if (st == State::modified || st == State::exclusive) {
             EXPECT_EQ(pf.holders(addr).size(), 1u);
+        }
     }
 }
 

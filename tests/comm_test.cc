@@ -375,3 +375,57 @@ TEST(CommSweep, WorkerCountDoesNotChangeJson)
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
 }
+
+namespace
+{
+
+/**
+ * A sweep where every job runs collectives on its own quad node and
+ * serializes the full stat tree — CommGroup counters, Formula stats
+ * (avg/max link busy fractions), and the per-link stats underneath.
+ * This is the stat-aggregation path the TSan CI gate exercises at 8
+ * concurrent workers.
+ */
+std::string
+runStatAggregationSweep(unsigned jobs)
+{
+    sweep::SweepRunner runner(jobs);
+    for (unsigned j = 0; j < 16; ++j) {
+        const std::uint64_t bytes = (4 + j % 4) * MiB;
+        runner.addJob(
+            "stats/" + std::to_string(j),
+            [bytes](json::JsonWriter &jw) {
+                SimObject root(nullptr, "root");
+                auto node = NodeTopology::mi300aQuadNode(&root);
+                EventQueue eq;
+                CommGroup group(node.get(), "comm", node->network(),
+                                node->deviceRanks(), &eq,
+                                fineGrained());
+                group.allReduce(0, bytes, Algorithm::ring);
+                group.waitAll();
+                group.allGather(eq.curTick(), bytes,
+                                Algorithm::direct);
+                group.waitAll();
+                jw.beginObject();
+                jw.key("comm");
+                group.dumpJsonStats(jw);
+                jw.key("node");
+                node->dumpJsonStats(jw);
+                jw.endObject();
+            });
+    }
+    const auto results = runner.run();
+    std::ostringstream os;
+    sweep::SweepRunner::dumpJson(os, "comm_stat_aggregation", results);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(CommSweep, StatAggregationAtEightWorkersIsDeterministic)
+{
+    const std::string serial = runStatAggregationSweep(1);
+    const std::string parallel = runStatAggregationSweep(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}

@@ -102,8 +102,9 @@ TEST_P(GpuDirectoryRandom, MsiInvariantsUnderRandomTraffic)
             dir.write(agent, addr);
         else
             dir.evict(agent, addr);
-        if (i % 500 == 0)
+        if (i % 500 == 0) {
             ASSERT_TRUE(dir.invariantsHold());
+        }
     }
     EXPECT_TRUE(dir.invariantsHold());
 }

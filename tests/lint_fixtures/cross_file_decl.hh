@@ -1,0 +1,8 @@
+// Fixture: declares an unordered member that cross_file_iter.cc
+// iterates — exercises the linter's global two-pass name table.
+#include <unordered_map>
+
+struct RemoteDir
+{
+    std::unordered_map<unsigned long long, int> remote_dir_;
+};

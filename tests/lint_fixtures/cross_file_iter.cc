@@ -1,0 +1,12 @@
+// Fixture: iterates a hash container declared in cross_file_decl.hh
+// (1 finding, only when both files are linted together).
+#include "cross_file_decl.hh"
+
+int
+countShared()
+{
+    int shared = 0;
+    for (const auto &kv : remote_dir_)
+        shared += kv.second;
+    return shared;
+}

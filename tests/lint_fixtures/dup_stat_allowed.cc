@@ -1,0 +1,24 @@
+// Fixture: suppressed duplicate, plus the legitimate case of the
+// same stat name reused across two different groups (0 findings).
+#include "sim/stats.hh"
+
+struct CacheStats
+{
+    ehpsim::Scalar lookups_;
+    ehpsim::Scalar shadow_;
+
+    CacheStats()
+        : lookups_(this, "lookups", "probe filter lookups"),
+          // ehpsim-lint: allow(dup-stat)
+          shadow_(this, "lookups", "intentional shadow register")
+    {
+    }
+};
+
+struct LinkStats
+{
+    ehpsim::Scalar lookups_;
+
+    // Same name, different group: no finding expected.
+    LinkStats() : lookups_(this, "lookups", "link table lookups") {}
+};

@@ -1,0 +1,15 @@
+// Fixture: the same stat name registered twice in one group must be
+// flagged (1 finding, reported on the second registration).
+#include "sim/stats.hh"
+
+struct CacheStats
+{
+    ehpsim::Scalar lookups_;
+    ehpsim::Scalar hits_;
+
+    CacheStats()
+        : lookups_(this, "lookups", "probe filter lookups"),
+          hits_(this, "lookups", "copy-paste slip: should be hits")
+    {
+    }
+};

@@ -1,0 +1,14 @@
+// Fixture: raw event lifetime management must be flagged
+// (3 findings: one new, two deletes).
+struct RetryEvent
+{
+    void process();
+};
+
+void
+scheduleRetry(RetryEvent *pending_event)
+{
+    auto *ev = new RetryEvent();
+    delete ev;
+    delete pending_event;
+}

@@ -1,0 +1,13 @@
+// Fixture: double-precision everywhere, plus one suppressed float
+// for FFI padding (0 findings).
+struct LinkModel
+{
+    double bandwidth_gbps_ = 128.0;
+    float pad_; // ehpsim-lint: allow(float-arith)
+
+    double
+    transferSeconds(unsigned long long bytes) const
+    {
+        return static_cast<double>(bytes) / bandwidth_gbps_;
+    }
+};

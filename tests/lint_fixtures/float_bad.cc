@@ -1,0 +1,11 @@
+// Fixture: single-precision arithmetic must be flagged (2 findings).
+struct LinkModel
+{
+    float bandwidth_gbps_ = 128.0f;
+
+    float
+    transferSeconds(unsigned long long bytes) const
+    {
+        return static_cast<double>(bytes) / bandwidth_gbps_;
+    }
+};

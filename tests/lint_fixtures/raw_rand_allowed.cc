@@ -1,0 +1,12 @@
+// Fixture: raw randomness suppressed file-wide (0 findings).
+// ehpsim-lint: allow-file(raw-rand)
+#include <cstdlib>
+#include <random>
+
+int
+noisyDraw()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<int>(gen()) + rand();
+}

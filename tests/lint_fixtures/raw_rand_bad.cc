@@ -1,0 +1,11 @@
+// Fixture: raw randomness must be flagged (3 findings).
+#include <cstdlib>
+#include <random>
+
+int
+noisyDraw()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<int>(gen()) + rand();
+}

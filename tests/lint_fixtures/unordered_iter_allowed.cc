@@ -1,0 +1,24 @@
+// Fixture: suppressed hash-order traversal plus the sanctioned
+// sortedKeys() pattern (0 findings).
+#include <unordered_map>
+
+#include "sim/ordered.hh"
+
+struct DumpState
+{
+    std::unordered_map<unsigned, double> table_;
+
+    double
+    dumpJson() const
+    {
+        double sum = 0;
+        // Order-insensitive reduction, reviewed and suppressed:
+        // ehpsim-lint: allow(unordered-iter)
+        for (const auto &kv : table_)
+            sum += kv.second;
+        // Deterministic traversal needs no suppression:
+        for (const unsigned k : ehpsim::sortedKeys(table_))
+            sum += table_.at(k);
+        return sum;
+    }
+};

@@ -1,0 +1,19 @@
+// Fixture: hash-order traversal must be flagged (2 findings: the
+// range-for and the explicit .begin() iterator walk).
+#include <unordered_map>
+
+struct DumpState
+{
+    std::unordered_map<unsigned, double> table_;
+
+    double
+    dumpJson() const
+    {
+        double sum = 0;
+        for (const auto &kv : table_)
+            sum += kv.second;
+        for (auto it = table_.begin(); it != table_.end(); ++it)
+            sum += it->second;
+        return sum;
+    }
+};

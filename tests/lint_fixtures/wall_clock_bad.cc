@@ -1,0 +1,12 @@
+// Fixture: every wall-clock read here must be flagged (3 findings).
+// These files exercise ehpsim-lint; they are never compiled.
+#include <chrono>
+#include <ctime>
+
+double
+elapsedHostSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const long stamp = time(nullptr);
+    return static_cast<double>(stamp) + static_cast<double>(clock());
+}

@@ -1,0 +1,260 @@
+/**
+ * Tests for ehpsim-lint, the in-tree determinism/hygiene linter.
+ *
+ * Three layers:
+ *   1. fixture tests  — every rule has a known-bad snippet under
+ *      tests/lint_fixtures/ that must be flagged, and an allow()-
+ *      suppressed twin that must pass clean;
+ *   2. unit tests     — lintContent() on inline snippets pins down
+ *      suppression scoping and rule filtering;
+ *   3. self-check     — the real tree (src/, bench/, examples/)
+ *      lints clean, so the CI gate can never rot silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+using namespace ehpsim::lint;
+
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(EHPSIM_LINT_FIXTURES) + "/" + name;
+}
+
+std::vector<Finding>
+lintFixture(const std::string &name)
+{
+    return lintFiles({fixture(name)}, Options{});
+}
+
+/** Count findings for one rule, asserting no other rule fired. */
+std::size_t
+countOnly(const std::vector<Finding> &findings, Rule rule)
+{
+    for (const Finding &f : findings)
+        EXPECT_EQ(ruleName(f.rule), ruleName(rule)) << toString(f);
+    return findings.size();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// 1. Fixtures: one bad + one allowed snippet per rule.
+// ---------------------------------------------------------------------------
+
+TEST(LintFixtures, WallClockBadIsFlagged)
+{
+    const auto findings = lintFixture("wall_clock_bad.cc");
+    EXPECT_EQ(countOnly(findings, Rule::wallClock), 3u);
+}
+
+TEST(LintFixtures, WallClockAllowedIsClean)
+{
+    EXPECT_TRUE(lintFixture("wall_clock_allowed.cc").empty());
+}
+
+TEST(LintFixtures, RawRandBadIsFlagged)
+{
+    const auto findings = lintFixture("raw_rand_bad.cc");
+    EXPECT_EQ(countOnly(findings, Rule::rawRand), 3u);
+}
+
+TEST(LintFixtures, RawRandAllowedIsClean)
+{
+    EXPECT_TRUE(lintFixture("raw_rand_allowed.cc").empty());
+}
+
+TEST(LintFixtures, UnorderedIterBadIsFlagged)
+{
+    const auto findings = lintFixture("unordered_iter_bad.cc");
+    // One range-for and one explicit .begin() walk.
+    EXPECT_EQ(countOnly(findings, Rule::unorderedIter), 2u);
+}
+
+TEST(LintFixtures, UnorderedIterAllowedIsClean)
+{
+    // The suppressed loop passes, and the sortedKeys() traversal is
+    // recognised as deterministic rather than flagged via its argument.
+    EXPECT_TRUE(lintFixture("unordered_iter_allowed.cc").empty());
+}
+
+TEST(LintFixtures, EventNewBadIsFlagged)
+{
+    const auto findings = lintFixture("event_new_bad.cc");
+    // One raw new plus two raw deletes (one through a parameter whose
+    // pointee type, not name, marks it as an event).
+    EXPECT_EQ(countOnly(findings, Rule::eventNew), 3u);
+}
+
+TEST(LintFixtures, EventNewAllowedIsClean)
+{
+    EXPECT_TRUE(lintFixture("event_new_allowed.cc").empty());
+}
+
+TEST(LintFixtures, DupStatBadIsFlagged)
+{
+    const auto findings = lintFixture("dup_stat_bad.cc");
+    ASSERT_EQ(countOnly(findings, Rule::dupStat), 1u);
+    // The finding lands on the second registration and names the first.
+    EXPECT_EQ(findings[0].line, 12);
+    EXPECT_NE(findings[0].message.find("line 11"), std::string::npos);
+}
+
+TEST(LintFixtures, DupStatAllowedIsClean)
+{
+    // Also covers the same stat name reused across different groups.
+    EXPECT_TRUE(lintFixture("dup_stat_allowed.cc").empty());
+}
+
+TEST(LintFixtures, FloatBadIsFlagged)
+{
+    const auto findings = lintFixture("float_bad.cc");
+    EXPECT_EQ(countOnly(findings, Rule::floatArith), 2u);
+}
+
+TEST(LintFixtures, FloatAllowedIsClean)
+{
+    EXPECT_TRUE(lintFixture("float_allowed.cc").empty());
+}
+
+// ---------------------------------------------------------------------------
+// 2. Unit tests on inline snippets.
+// ---------------------------------------------------------------------------
+
+TEST(LintUnit, SuppressionCoversOwnAndNextLineOnly)
+{
+    const std::string src =
+        "// ehpsim-lint: allow(float-arith)\n"
+        "float covered;\n"
+        "float not_covered;\n";
+    const auto findings = lintContent("inline.cc", src, Options{});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintUnit, AllowFileSuppressesEverywhere)
+{
+    const std::string src =
+        "// ehpsim-lint: allow-file(float-arith)\n"
+        "float a;\n"
+        "\n"
+        "float b;\n";
+    EXPECT_TRUE(lintContent("inline.cc", src, Options{}).empty());
+}
+
+TEST(LintUnit, SuppressionIsRuleSpecific)
+{
+    // An allow() for one rule must not silence another on the same line.
+    const std::string src =
+        "// ehpsim-lint: allow(wall-clock)\n"
+        "float leaks_through;\n";
+    const auto findings = lintContent("inline.cc", src, Options{});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(ruleName(findings[0].rule), std::string("float-arith"));
+}
+
+TEST(LintUnit, CommentsAndStringsAreNotCode)
+{
+    const std::string src =
+        "// float in a comment, rand() too\n"
+        "/* std::random_device inside a block comment */\n"
+        "const char *doc = \"float rand() steady_clock\";\n";
+    EXPECT_TRUE(lintContent("inline.cc", src, Options{}).empty());
+}
+
+TEST(LintUnit, RuleFilterRestrictsOutput)
+{
+    const std::string src = "float f = rand();\n";
+    Options opts;
+    opts.only_rules = {Rule::rawRand};
+    const auto findings = lintContent("inline.cc", src, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(ruleName(findings[0].rule), std::string("raw-rand"));
+}
+
+TEST(LintUnit, DefaultWhitelistExemptsWallTimer)
+{
+    const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+    // The sanctioned wall-clock shim is exempt...
+    EXPECT_TRUE(
+        lintContent("src/sim/wall_timer.cc", src, Options{}).empty());
+    // ...but only by path, and only while the whitelist is on.
+    EXPECT_EQ(lintContent("src/sweep/sweep_runner.cc", src, Options{}).size(),
+              1u);
+    Options strict;
+    strict.default_whitelist = false;
+    EXPECT_EQ(lintContent("src/sim/wall_timer.cc", src, strict).size(), 1u);
+}
+
+TEST(LintUnit, CrossFileUnorderedDeclIsSeen)
+{
+    // Member declared in a header, iterated in a .cc: pass 1 builds a
+    // global name table, so linting both files together connects them.
+    const auto findings = lintFiles(
+        {fixture("cross_file_decl.hh"), fixture("cross_file_iter.cc")},
+        Options{});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(ruleName(findings[0].rule), std::string("unordered-iter"));
+    EXPECT_NE(findings[0].file.find("cross_file_iter.cc"),
+              std::string::npos);
+    // Linting the .cc alone must NOT fire: the declaration is unseen.
+    EXPECT_TRUE(lintFixture("cross_file_iter.cc").empty());
+}
+
+TEST(LintUnit, ParseRuleRoundTrips)
+{
+    for (const Rule r : allRules()) {
+        Rule parsed{};
+        ASSERT_TRUE(parseRule(ruleName(r), parsed)) << ruleName(r);
+        EXPECT_EQ(ruleName(parsed), ruleName(r));
+    }
+    Rule unused{};
+    EXPECT_FALSE(parseRule("no-such-rule", unused));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Self-check: the shipping tree lints clean, via the library and
+//    via the installed binary's exit code (the exact CI invocation).
+// ---------------------------------------------------------------------------
+
+TEST(LintTree, WholeTreeLintsClean)
+{
+    std::vector<std::string> files;
+    std::string error;
+    const std::string root(EHPSIM_SOURCE_DIR);
+    ASSERT_TRUE(listSources(
+        {root + "/src", root + "/bench", root + "/examples"}, files, error))
+        << error;
+    ASSERT_GT(files.size(), 100u) << "source walk looks truncated";
+
+    const auto findings = lintFiles(files, Options{});
+    for (const Finding &f : findings)
+        ADD_FAILURE() << toString(f);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintCli, ExitCodesMatchContract)
+{
+    const std::string bin(EHPSIM_LINT_BIN);
+    const std::string quiet = " > /dev/null 2>&1";
+
+    const int clean = std::system(
+        (bin + " " + fixture("float_allowed.cc") + quiet).c_str());
+    const int dirty = std::system(
+        (bin + " " + fixture("float_bad.cc") + quiet).c_str());
+    const int usage = std::system((bin + " --rule bogus" + quiet).c_str());
+
+    ASSERT_NE(clean, -1);
+    EXPECT_EQ(WEXITSTATUS(clean), 0);
+    EXPECT_EQ(WEXITSTATUS(dirty), 1);
+    EXPECT_EQ(WEXITSTATUS(usage), 2);
+}

@@ -240,8 +240,9 @@ TEST_P(CacheArrayPolicy, InvariantsUnderRandomTraffic)
         } else {
             arr.insert(a, rng.nextBool(0.5));
         }
-        if (i % 1024 == 0)
+        if (i % 1024 == 0) {
             EXPECT_TRUE(arr.tagsUnique());
+        }
     }
     EXPECT_TRUE(arr.tagsUnique());
     EXPECT_LE(arr.numValid(), 16384u / 128u);

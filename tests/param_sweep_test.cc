@@ -183,8 +183,9 @@ TEST_P(GovernorBudget, AllocationRespectsAnyTdp)
     EXPECT_LE(alloc.total, tdp + 1e-6);
     EXPECT_GE(alloc.total, model.idlePower() - 1e-6);
     // Higher TDP, higher (or equal) grant.
-    if (tdp >= model.maxPower())
+    if (tdp >= model.maxPower()) {
         EXPECT_NEAR(alloc.total, model.maxPower(), 1e-6);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Budgets, GovernorBudget,

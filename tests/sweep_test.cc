@@ -239,6 +239,26 @@ TEST(SweepRunner, ParallelOutputIsByteIdenticalToSerial)
     EXPECT_NE(serial.find("\"name\": \"job31\""), std::string::npos);
 }
 
+TEST(SweepRunner, WallClockStaysOutOfDeterministicPayload)
+{
+    // Host-side timing (WallTimer) is measured per job for operator
+    // feedback, but it is host-dependent and must never leak into
+    // the ehpsim-sweep-v1 document — that is what keeps --jobs 1
+    // and --jobs N byte-identical.
+    auto runner = makeRunner(4, 2);
+    const auto results = runner.run();
+    for (const auto &res : results) {
+        EXPECT_GE(res.wall_s, 0.0);
+        EXPECT_EQ(res.output.find("wall_s"), std::string::npos);
+    }
+    EXPECT_GE(sweep::SweepRunner::totalJobSeconds(results), 0.0);
+    std::ostringstream oss;
+    sweep::SweepRunner::dumpJson(oss, "timing", results);
+    const std::string doc = oss.str();
+    EXPECT_EQ(doc.find("wall_s"), std::string::npos);
+    EXPECT_EQ(doc.find("elapsed"), std::string::npos);
+}
+
 TEST(SweepRunner, RepeatedRunsAreStable)
 {
     auto runner = makeRunner(8, 4);

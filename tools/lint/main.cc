@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ehpsim-lint command-line driver.
+ *
+ *     ehpsim-lint [--rule <name>]... [--no-default-whitelist] \
+ *                 [--list-rules] <path>...
+ *
+ * Paths may be files or directories (recursed for .hh/.h/.hpp/.cc/
+ * .cpp). Findings print one per line as "file:line:rule: message".
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ehpsim-lint [--rule <name>]... "
+        "[--no-default-whitelist] [--list-rules] <path>...\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ehpsim::lint;
+
+    Options opts;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const Rule r : allRules()) {
+                std::printf("%-15s %s\n", ruleName(r),
+                            ruleRationale(r));
+            }
+            return 0;
+        } else if (arg == "--rule") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            Rule r;
+            if (!parseRule(argv[++i], r)) {
+                std::fprintf(stderr,
+                             "ehpsim-lint: unknown rule '%s' "
+                             "(--list-rules shows all)\n",
+                             argv[i]);
+                return 2;
+            }
+            opts.only_rules.push_back(r);
+        } else if (arg == "--no-default-whitelist") {
+            opts.default_whitelist = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "ehpsim-lint: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    std::string error;
+    if (!listSources(paths, files, error)) {
+        std::fprintf(stderr, "ehpsim-lint: %s\n", error.c_str());
+        return 2;
+    }
+
+    const std::vector<Finding> findings = lintFiles(files, opts);
+    for (const Finding &f : findings)
+        std::printf("%s\n", toString(f).c_str());
+    std::fprintf(stderr, "ehpsim-lint: %zu file(s), %zu finding(s)\n",
+                 files.size(), findings.size());
+    return findings.empty() ? 0 : 1;
+}
