@@ -19,6 +19,12 @@
  *              [--algos ring,direct,auto] [--sizes 1M,16M,64M]
  *              [--jobs N] [--json FILE]
  *
+ *   ehpsim_cli fault [--topology quad|octo] [--collective C]
+ *              [--algos ring,direct] [--sizes 1M,16M,64M]
+ *              [--rates 0,0.005,0.02] [--seed N]
+ *              [--kill a:b@tick[*factor]] [--max-retries N]
+ *              [--retry-timeout TICKS] [--jobs N] [--json FILE]
+ *
  * The sweep subcommand runs the products x workloads cross product
  * as independent jobs on a sweep::SweepRunner worker pool and emits
  * an ehpsim-sweep-v1 JSON document (stdout, or FILE with --json).
@@ -28,6 +34,14 @@
  * collective as chunked transfers on the event queue and reports
  * achieved algorithmic bandwidth and link utilization.
  *
+ * The fault subcommand reruns those collectives under the fault
+ * injector: a seeded transient chunk-error rate (survived via
+ * retry/backoff) and optional scheduled link kills or derates
+ * (--kill, repeatable; a *factor suffix derates instead of
+ * killing). Each job reports the degraded bandwidth plus the
+ * retry/reroute counters; same seed means byte-identical JSON for
+ * any --jobs value.
+ *
  * Examples:
  *   ehpsim_cli --product mi300a --workload cfd --engine roofline
  *   ehpsim_cli --product mi300x --workload triad --partitions 8
@@ -35,6 +49,8 @@
  *       --workloads triad,gemm,cfd --jobs 8 --json sweep.json
  *   ehpsim_cli comm --topology octo --collective all_reduce \
  *       --algos ring,direct --sizes 1M,64M,256M --jobs 8
+ *   ehpsim_cli fault --topology octo --rates 0,0.02 \
+ *       --kill mi300x0:mi300x1@50000000 --jobs 8
  */
 
 #include <cstdio>
@@ -48,6 +64,8 @@
 
 #include "comm/comm_group.hh"
 #include "core/apu_system.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "core/machine_model.hh"
 #include "core/roofline.hh"
 #include "core/trace.hh"
@@ -92,8 +110,16 @@ usage(const char *argv0)
                  "       %s comm [--topology quad|octo] "
                  "[--collective C] [--algos a,b,...]\n"
                  "          [--sizes 1M,64M,...] [--jobs N] "
+                 "[--json FILE]\n"
+                 "       %s fault [--topology quad|octo] "
+                 "[--collective C] [--algos a,b,...]\n"
+                 "          [--sizes 1M,...] [--rates 0,0.02,...] "
+                 "[--seed N]\n"
+                 "          [--kill a:b@tick[*factor]] "
+                 "[--max-retries N]\n"
+                 "          [--retry-timeout TICKS] [--jobs N] "
                  "[--json FILE]\n",
-                 argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -523,6 +549,187 @@ commMain(int argc, char **argv)
     return failures == 0 ? 0 : 1;
 }
 
+/**
+ * Run one collective under the fault injector and serialize the
+ * degraded result plus the retry/reroute counters.
+ */
+void
+runFaultJob(const std::string &topology, comm::Collective coll,
+            comm::Algorithm algo, std::uint64_t bytes,
+            const fault::FaultPlan &plan, const comm::CommParams &params,
+            json::JsonWriter &jw)
+{
+    SimObject root(nullptr, "root");
+    auto topo = topology == "quad"
+                    ? soc::NodeTopology::mi300aQuadNode(&root)
+                    : soc::NodeTopology::mi300xOctoNode(&root);
+    EventQueue eq;
+    comm::CommGroup group(topo.get(), "comm", topo->network(),
+                          topo->deviceRanks(), &eq, params);
+
+    fault::FaultInjector injector(topo.get(), "inj", plan, &eq);
+    injector.attachNetwork(topo->network());
+    injector.attachCommGroup(&group);
+    injector.arm();
+
+    comm::OpHandle op;
+    switch (coll) {
+      case comm::Collective::allReduce:
+        op = group.allReduce(0, bytes, algo);
+        break;
+      case comm::Collective::allGather:
+        op = group.allGather(0, bytes, algo);
+        break;
+      case comm::Collective::reduceScatter:
+        op = group.reduceScatter(0, bytes, algo);
+        break;
+      case comm::Collective::broadcast:
+        op = group.broadcast(0, 0, bytes, algo);
+        break;
+      default:
+        op = group.allToAll(0, bytes, algo);
+        break;
+    }
+    group.waitAll();
+
+    jw.beginObject();
+    jw.kv("topology", topology);
+    jw.kv("collective", comm::collectiveName(coll));
+    jw.kv("algorithm", comm::algorithmName(op->algorithm()));
+    jw.kv("bytes", static_cast<double>(bytes));
+    jw.kv("seed", static_cast<double>(plan.seed));
+    jw.kv("chunk_error_rate", plan.chunk_error_rate);
+    jw.kv("completed", op->done() ? 1.0 : 0.0);
+    jw.kv("seconds", op->seconds());
+    jw.kv("algbw_gbps", op->algoBandwidth() / 1e9);
+    jw.kv("faults_injected", injector.faults_injected.value());
+    jw.kv("chunk_retries", group.chunk_retries.value());
+    jw.kv("retry_wait_ticks", group.retry_wait_ticks.value());
+    jw.kv("links_killed",
+          topo->network()->links_killed.value());
+    jw.kv("links_derated",
+          topo->network()->links_derated.value());
+    jw.kv("reroutes", topo->network()->reroutes.value());
+    jw.kv("max_link_busy", group.maxLinkUtilization());
+    jw.endObject();
+}
+
+int
+faultMain(int argc, char **argv)
+{
+    std::string topology = "octo";
+    std::string collective = "all_reduce";
+    std::vector<std::string> algos = {"ring", "direct"};
+    std::vector<std::string> sizes = {"64M"};
+    std::vector<std::string> rates = {"0", "0.005", "0.02"};
+    std::vector<fault::LinkFault> kills;
+    std::uint64_t seed = 1;
+    std::string json_path;
+    unsigned jobs = 1;
+    comm::CommParams params;
+    params.chunk_bytes = 1 * MiB;
+    // See ablation_resilience: a timeout-based retransmit has to
+    // cover the per-link chunk backlog to detect loss at all.
+    params.retry_timeout = 200'000'000;     // 200 us
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--topology")
+            topology = next();
+        else if (arg == "--collective")
+            collective = next();
+        else if (arg == "--algos")
+            algos = splitList(next());
+        else if (arg == "--sizes")
+            sizes = splitList(next());
+        else if (arg == "--rates")
+            rates = splitList(next());
+        else if (arg == "--seed")
+            seed = std::stoull(next());
+        else if (arg == "--kill")
+            kills.push_back(fault::parseLinkFault(next()));
+        else if (arg == "--max-retries")
+            params.max_retries = std::stoul(next());
+        else if (arg == "--retry-timeout")
+            params.retry_timeout = std::stoull(next());
+        else if (arg == "--jobs")
+            jobs = std::stoul(next());
+        else if (arg == "--json")
+            json_path = next();
+        else
+            usage(argv[0]);
+    }
+    if (topology != "quad" && topology != "octo")
+        fatal("unknown topology '", topology, "' (quad, octo)");
+    if (algos.empty() || sizes.empty() || rates.empty() || jobs == 0)
+        usage(argv[0]);
+    const comm::Collective coll = collectiveFor(collective);
+
+    sweep::SweepRunner runner(jobs);
+    for (const auto &algo_name : algos) {
+        const comm::Algorithm algo = algorithmFor(algo_name);
+        for (const auto &size : sizes) {
+            const std::uint64_t bytes = parseSize(size);
+            for (const auto &rate : rates) {
+                fault::FaultPlan plan;
+                plan.seed = seed;
+                plan.chunk_error_rate = std::stod(rate);
+                plan.link_faults = kills;
+                plan.validate();
+                runner.addJob(topology + "/" + collective + "/" +
+                                  algo_name + "/" + size + "/" + rate,
+                              [=](json::JsonWriter &jw) {
+                                  runFaultJob(topology, coll, algo,
+                                              bytes, plan, params,
+                                              jw);
+                              });
+            }
+        }
+    }
+
+    const auto results = runner.run();
+
+    std::fprintf(stderr,
+                 "fault: %zu jobs on %u workers, %.3f s of job time\n",
+                 results.size(), runner.workers(),
+                 sweep::SweepRunner::totalJobSeconds(results));
+    int failures = 0;
+    for (const auto &res : results) {
+        if (!res.ok) {
+            ++failures;
+            std::fprintf(stderr, "fault: job %zu (%s) failed: %s\n",
+                         res.index, res.name.c_str(),
+                         res.error.c_str());
+        }
+    }
+
+    if (json_path.empty()) {
+        sweep::SweepRunner::dumpJson(std::cout, "ehpsim_cli_fault",
+                                     results);
+    } else {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "fault: cannot open %s for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        sweep::SweepRunner::dumpJson(out, "ehpsim_cli_fault", results);
+        if (!out.flush()) {
+            std::fprintf(stderr, "fault: error writing %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "fault: JSON written to %s\n",
+                     json_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -532,6 +739,8 @@ main(int argc, char **argv)
         return sweepMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "comm") == 0)
         return commMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "fault") == 0)
+        return faultMain(argc, argv);
 
     const Options opt = parseArgs(argc, argv);
     const auto workload = workloadFor(opt.workload, opt.scale);

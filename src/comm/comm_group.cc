@@ -73,6 +73,12 @@ CommGroup::CommGroup(SimObject *parent, const std::string &name,
                      "payload bytes sent point-to-point"),
       link_bytes(this, "link_bytes",
                  "bytes x hops placed on fabric links"),
+      chunk_retries(this, "chunk_retries",
+                    "chunk transfers retried after transient faults"),
+      retry_wait_ticks(this, "retry_wait_ticks",
+                       "total backoff ticks spent before retries"),
+      retry_latency(this, "retry_latency",
+                    "backoff ticks per chunk retry"),
       algo_bw_gbps(this, "algo_bw_gbps",
                    "achieved algorithmic bandwidth per op, GB/s"),
       avg_link_busy(this, "avg_link_busy",
@@ -94,6 +100,17 @@ CommGroup::CommGroup(SimObject *parent, const std::string &name,
         fatal("CommGroup '", name, "': no ranks");
     if (params_.chunk_bytes == 0)
         fatal("CommGroup '", name, "': chunk_bytes must be nonzero");
+    if (params_.retry_timeout == 0)
+        fatal("CommGroup '", name, "': retry_timeout must be nonzero");
+    if (params_.backoff_base < 1.0)
+        fatal("CommGroup '", name, "': backoff_base ",
+              params_.backoff_base, " must be >= 1");
+    // Bucket the retry-latency histogram over the full backoff
+    // range: [first delay, delay after the last permitted retry).
+    retry_latency.init(0.0,
+                       static_cast<double>(
+                           backoffTicks(params_.max_retries + 1)),
+                       8);
     for (std::size_t i = 0; i < ranks_.size(); ++i) {
         if (ranks_[i] >= net_->numNodes())
             fatal("CommGroup '", name, "': rank ", i,
@@ -388,9 +405,46 @@ CommGroup::scheduleTask(const OpHandle &op, std::uint32_t idx)
 }
 
 void
+CommGroup::setChunkFaultHook(ChunkFaultHook hook)
+{
+    fault_hook_ = std::move(hook);
+}
+
+Tick
+CommGroup::backoffTicks(unsigned attempt) const
+{
+    double d = static_cast<double>(params_.retry_timeout);
+    for (unsigned i = 1; i < attempt; ++i)
+        d *= params_.backoff_base;
+    return static_cast<Tick>(d);
+}
+
+void
 CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
 {
     CollectiveOp::Task &t = op->tasks_[idx];
+    if (fault_hook_ &&
+        fault_hook_(eventq()->curTick(), t.src, t.dst, t.bytes,
+                    t.attempt + 1)) {
+        ++t.attempt;
+        if (t.attempt > params_.max_retries) {
+            fatal("CommGroup '", name(), "': chunk ",
+                  net_->nodeName(t.src), " -> ",
+                  net_->nodeName(t.dst), " (", t.bytes, " B) failed ",
+                  t.attempt, " attempts; max_retries=",
+                  params_.max_retries, " exhausted");
+        }
+        // Exponential backoff, then try the same chunk again. The
+        // op's pending count is untouched, so waitAll() keeps
+        // driving the queue until the retry lands.
+        const Tick backoff = backoffTicks(t.attempt);
+        ++chunk_retries;
+        retry_wait_ticks += static_cast<double>(backoff);
+        retry_latency.sample(static_cast<double>(backoff));
+        eventq()->scheduleLambda(eventq()->curTick() + backoff,
+                                 [this, op, idx] { runTask(op, idx); });
+        return;
+    }
     const auto res =
         net_->send(eventq()->curTick(), t.src, t.dst, t.bytes);
     const auto moved =

@@ -35,6 +35,7 @@
 #define EHPSIM_COMM_COMM_GROUP_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +77,17 @@ struct CommParams
     std::uint64_t chunk_bytes = 4 * MiB;
     /** Auto-selection: payloads at or below this go direct. */
     std::uint64_t direct_threshold = 1 * MiB;
+    /**
+     * @{
+     * Transient-fault policy (DESIGN.md §10): a chunk transfer
+     * attempt failed by the fault hook retries after
+     * retry_timeout * backoff_base^(attempt-1) ticks; a chunk that
+     * fails more than max_retries attempts fatals the run.
+     */
+    unsigned max_retries = 4;
+    Tick retry_timeout = 1'000'000;     ///< 1 us base backoff
+    double backoff_base = 2.0;
+    /** @} */
 };
 
 /**
@@ -122,6 +134,7 @@ class CollectiveOp
         fabric::NodeId dst;
         std::uint64_t bytes;
         unsigned deps = 0;
+        unsigned attempt = 0;   ///< transfer attempts failed so far
         Tick ready = 0;
         std::vector<std::uint32_t> dependents;
     };
@@ -190,6 +203,21 @@ class CommGroup : public SimObject
                       std::uint64_t bytes);
 
     /**
+     * Transient-fault model for chunk transfers. Called once per
+     * attempt; returning true fails the attempt, which is retried
+     * with exponential backoff per CommParams. @p attempt is
+     * 1-based. nullptr (the default) means transfers are reliable.
+     */
+    using ChunkFaultHook = std::function<bool(
+        Tick when, fabric::NodeId src, fabric::NodeId dst,
+        std::uint64_t bytes, unsigned attempt)>;
+
+    void setChunkFaultHook(ChunkFaultHook hook);
+
+    /** Backoff delay before retry number @p attempt (1-based). */
+    Tick backoffTicks(unsigned attempt) const;
+
+    /**
      * Drive the event queue until every outstanding collective of
      * this group completes. @return the latest finish tick seen.
      */
@@ -211,6 +239,9 @@ class CommGroup : public SimObject
     stats::Scalar all_to_all_bytes;
     stats::Scalar sendrecv_bytes;
     stats::Scalar link_bytes;
+    stats::Scalar chunk_retries;
+    stats::Scalar retry_wait_ticks;
+    stats::Distribution retry_latency;
     stats::Average algo_bw_gbps;
     stats::Formula avg_link_busy;
     stats::Formula max_link_busy;
@@ -247,6 +278,7 @@ class CommGroup : public SimObject
     fabric::Network *net_;
     std::vector<fabric::NodeId> ranks_;
     CommParams params_;
+    ChunkFaultHook fault_hook_;
     /** Every directed link some rank pair routes over. */
     std::vector<fabric::Link *> links_;
     std::vector<OpHandle> outstanding_;

@@ -88,6 +88,9 @@ Link::Link(SimObject *parent, const std::string &name,
 Tick
 Link::transfer(Tick when, std::uint64_t bytes, bool high_priority)
 {
+    if (killed_)
+        panic(name(), ": transfer on a killed link (routing should "
+              "have gone around it)");
     ++transfers;
     bytes_moved += static_cast<double>(bytes);
     first_use_ = std::min(first_use_, when);
@@ -97,15 +100,36 @@ Link::transfer(Tick when, std::uint64_t bytes, bool high_priority)
         ++hp_transfers;
         // Reserved VC: pays serialization at link rate but does not
         // queue behind bulk data.
-        Tick dur = serializationTicks(bytes, params_.bandwidth);
+        Tick dur = serializationTicks(bytes, effectiveBandwidth());
         done = when + dur;
     } else {
         done = occupancy_.occupy(when, bytes);
-        busy_ticks_ += serializationTicks(bytes, params_.bandwidth);
+        busy_ticks_ += serializationTicks(bytes, effectiveBandwidth());
     }
     const Tick arrival = done + params_.latency;
     last_done_ = std::max(last_done_, arrival);
     return arrival;
+}
+
+void
+Link::kill()
+{
+    if (killed_)
+        fatal(name(), ": already killed");
+    killed_ = true;
+}
+
+void
+Link::derate(double factor)
+{
+    if (killed_)
+        fatal(name(), ": cannot derate a killed link");
+    if (!(factor > 0.0) || factor > 1.0)
+        fatal(name(), ": derate factor ", factor,
+              " out of range (0, 1]");
+    derate_ *= factor;
+    occupancy_.setBandwidth(effectiveBandwidth() /
+                            static_cast<double>(ticksPerSecond));
 }
 
 double

@@ -71,6 +71,31 @@ class Link : public SimObject
     Tick transfer(Tick when, std::uint64_t bytes,
                   bool high_priority = false);
 
+    /**
+     * Permanently fail this link (fault injection). The Network
+     * stops routing over dead links, so a transfer on one is a
+     * simulator bug and panics.
+     */
+    void kill();
+
+    bool alive() const { return !killed_; }
+
+    /**
+     * Degrade the link to @p factor of its current rate
+     * (cumulative; 0 < factor <= 1), modeling lane retirement or a
+     * retrain to a lower speed.
+     */
+    void derate(double factor);
+
+    /** Remaining fraction of the nominal bandwidth. */
+    double derateFactor() const { return derate_; }
+
+    /** Nominal bandwidth scaled by the accumulated derating. */
+    BytesPerSecond effectiveBandwidth() const
+    {
+        return params_.bandwidth * derate_;
+    }
+
     /** Total energy spent on this link, in joules. */
     double energyJoules() const;
 
@@ -94,6 +119,8 @@ class Link : public SimObject
     Tick first_use_ = maxTick;
     Tick last_done_ = 0;
     Tick busy_ticks_ = 0;
+    double derate_ = 1.0;
+    bool killed_ = false;
 };
 
 } // namespace fabric

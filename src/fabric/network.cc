@@ -13,22 +13,28 @@ namespace fabric
 Network::Network(SimObject *parent, const std::string &name)
     : SimObject(parent, name),
       messages(this, "messages", "messages sent"),
-      total_hops(this, "total_hops", "sum of hops over all messages")
+      total_hops(this, "total_hops", "sum of hops over all messages"),
+      links_killed(this, "links_killed",
+                   "link pairs failed by fault injection"),
+      links_derated(this, "links_derated",
+                    "link-pair derating events"),
+      reroutes(this, "reroutes",
+               "route-table recomputes forced by link faults",
+               [this] { return static_cast<double>(route_recomputes_); })
 {
 }
 
 NodeId
 Network::addNode(const std::string &name, NodeKind kind)
 {
-    for (const auto &n : node_names_) {
-        if (n == name)
-            fatal("duplicate fabric node name '", name, "'");
-    }
+    const auto id = static_cast<NodeId>(node_names_.size());
+    if (!id_by_name_.emplace(name, id).second)
+        fatal("duplicate fabric node name '", name, "'");
     node_names_.push_back(name);
     node_kinds_.push_back(kind);
     adjacency_.emplace_back();
     invalidateRoutes();
-    return static_cast<NodeId>(node_names_.size() - 1);
+    return id;
 }
 
 void
@@ -52,11 +58,10 @@ Network::connect(NodeId a, NodeId b, const LinkParams &params)
 NodeId
 Network::nodeByName(const std::string &name) const
 {
-    for (NodeId i = 0; i < node_names_.size(); ++i) {
-        if (node_names_[i] == name)
-            return i;
-    }
-    fatal("unknown fabric node '", name, "'");
+    const auto it = id_by_name_.find(name);
+    if (it == id_by_name_.end())
+        fatal("unknown fabric node '", name, "'");
+    return it->second;
 }
 
 const std::string &
@@ -74,6 +79,55 @@ Network::link(NodeId a, NodeId b)
     if (it == links_.end())
         fatal("no link ", nodeName(a), " -> ", nodeName(b));
     return it->second.get();
+}
+
+void
+Network::killLink(NodeId a, NodeId b)
+{
+    Link *ab = link(a, b);
+    Link *ba = link(b, a);
+    if (!ab->alive())
+        fatal("link ", nodeName(a), " <-> ", nodeName(b),
+              " already killed");
+    ab->kill();
+    ba->kill();
+    std::erase(adjacency_[a], b);
+    std::erase(adjacency_[b], a);
+    faulted_ = true;
+    ++links_killed;
+    invalidateRoutes();
+}
+
+void
+Network::derateLink(NodeId a, NodeId b, double factor)
+{
+    Link *ab = link(a, b);
+    Link *ba = link(b, a);
+    if (!ab->alive())
+        fatal("cannot derate killed link ", nodeName(a), " <-> ",
+              nodeName(b));
+    ab->derate(factor);
+    ba->derate(factor);
+    ++links_derated;
+}
+
+bool
+Network::linkAlive(NodeId a, NodeId b) const
+{
+    const auto it = links_.find(std::make_pair(a, b));
+    return it != links_.end() && it->second->alive();
+}
+
+bool
+Network::reachable(NodeId src, NodeId dst) const
+{
+    if (src >= numNodes() || dst >= numNodes())
+        fatal("bad route endpoints ", src, " -> ", dst);
+    if (src == dst)
+        return true;
+    if (!routes_valid_[src])
+        computeRoutesFrom(src);
+    return !routes_[src][dst].empty();
 }
 
 std::vector<Link *>
@@ -96,6 +150,8 @@ Network::invalidateRoutes()
 void
 Network::computeRoutesFrom(NodeId src) const
 {
+    if (faulted_)
+        ++route_recomputes_;
     const std::size_t n = numNodes();
     std::vector<NodeId> prev(n, src);
     std::vector<int> dist(n, -1);
@@ -116,7 +172,7 @@ Network::computeRoutesFrom(NodeId src) const
     routes_[src].assign(n, {});
     for (NodeId dst = 0; dst < n; ++dst) {
         if (dist[dst] < 0)
-            continue;           // unreachable, flagged on use
+            continue;           // unreachable: path() fatals on use
         std::vector<NodeId> rev;
         for (NodeId v = dst; v != src; v = prev[v])
             rev.push_back(v);
@@ -135,9 +191,13 @@ Network::path(NodeId src, NodeId dst) const
     if (!routes_valid_[src])
         computeRoutesFrom(src);
     const auto &p = routes_[src][dst];
-    if (p.empty())
+    if (p.empty()) {
         fatal("fabric node '", nodeName(dst),
-              "' unreachable from '", nodeName(src), "'");
+              "' unreachable from '", nodeName(src), "'",
+              links_killed.value() > 0
+                  ? " (link failures partitioned the fabric)"
+                  : "");
+    }
     return p;
 }
 

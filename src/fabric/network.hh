@@ -69,6 +69,28 @@ class Network : public SimObject
     /** The unidirectional link from @p a to @p b (fatal if absent). */
     Link *link(NodeId a, NodeId b);
 
+    /**
+     * Fail both directions of the a <-> b link pair at once (fault
+     * injection). Routes are invalidated and recomputed around the
+     * dead link on next use; sending to a node the failure cut off
+     * fatals with both node names. Fatal when no live link joins
+     * the pair.
+     */
+    void killLink(NodeId a, NodeId b);
+
+    /**
+     * Degrade both directions of the a <-> b link pair to
+     * @p factor of their current rate (cumulative; 0 < factor <= 1).
+     * Routing is unchanged: min-hop paths ignore bandwidth.
+     */
+    void derateLink(NodeId a, NodeId b, double factor);
+
+    /** True while a live link joins @p a directly to @p b. */
+    bool linkAlive(NodeId a, NodeId b) const;
+
+    /** True when @p dst can still be reached from @p src. */
+    bool reachable(NodeId src, NodeId dst) const;
+
     /** All links (both directions), for stats sweeps. */
     std::vector<Link *> allLinks();
 
@@ -93,6 +115,9 @@ class Network : public SimObject
     /** @{ statistics */
     stats::Scalar messages;
     stats::Scalar total_hops;
+    stats::Scalar links_killed;
+    stats::Scalar links_derated;
+    stats::Formula reroutes;
     /** @} */
 
   private:
@@ -102,12 +127,17 @@ class Network : public SimObject
 
     std::vector<std::string> node_names_;
     std::vector<NodeKind> node_kinds_;
+    std::map<std::string, NodeId> id_by_name_;
     std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
     std::vector<std::vector<NodeId>> adjacency_;
 
     /** Route cache: routes_[src][dst] = node path. */
     mutable std::vector<std::vector<std::vector<NodeId>>> routes_;
     mutable std::vector<bool> routes_valid_;
+
+    /** Per-source route recomputes forced by link faults. */
+    mutable std::uint64_t route_recomputes_ = 0;
+    bool faulted_ = false;
 };
 
 } // namespace fabric

@@ -1,0 +1,116 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace fault
+{
+
+FaultInjector::FaultInjector(SimObject *parent,
+                             const std::string &name, FaultPlan plan,
+                             EventQueue *eq)
+    : SimObject(parent, name, eq),
+      faults_injected(this, "faults_injected",
+                      "faults of any kind delivered"),
+      links_cut(this, "links_cut", "fabric link pairs killed"),
+      links_derated(this, "links_derated",
+                    "fabric link pairs derated"),
+      channels_blacked_out(this, "channels_blacked_out",
+                           "HBM channels blacked out"),
+      chunk_faults(this, "chunk_faults",
+                   "chunk transfer attempts failed in transit"),
+      plan_(std::move(plan)),
+      rng_(plan_.seed)
+{
+    if (!eventq())
+        fatal(name, ": no event queue (pass one explicitly; faults "
+              "are scheduled as events)");
+    plan_.validate();
+}
+
+void
+FaultInjector::attachNetwork(fabric::Network *net)
+{
+    if (!net)
+        fatal(name(), ": null network");
+    net_ = net;
+}
+
+void
+FaultInjector::attachCommGroup(comm::CommGroup *group)
+{
+    if (!group)
+        fatal(name(), ": null comm group");
+    comm_ = group;
+    // One Rng draw per transfer attempt, in event order, keeps the
+    // failure history deterministic for a given plan seed.
+    comm_->setChunkFaultHook(
+        [this](Tick, fabric::NodeId, fabric::NodeId, std::uint64_t,
+               unsigned) {
+            if (!rng_.nextBool(plan_.chunk_error_rate))
+                return false;
+            ++chunk_faults;
+            ++faults_injected;
+            return true;
+        });
+}
+
+void
+FaultInjector::attachHbm(mem::HbmSubsystem *hbm)
+{
+    if (!hbm)
+        fatal(name(), ": null HBM subsystem");
+    hbm_ = hbm;
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        fatal(name(), ": arm() called twice");
+    armed_ = true;
+    if (!plan_.link_faults.empty() && !net_)
+        fatal(name(), ": plan has link faults but no network is "
+              "attached");
+    if (!plan_.channel_faults.empty() && !hbm_)
+        fatal(name(), ": plan has channel faults but no HBM "
+              "subsystem is attached");
+    if (plan_.chunk_error_rate > 0.0 && !comm_)
+        fatal(name(), ": plan has a chunk_error_rate but no comm "
+              "group is attached");
+
+    for (const auto &lf : plan_.link_faults) {
+        // Resolve names now so a typo fails at arm() time, not
+        // mid-run.
+        const fabric::NodeId a = net_->nodeByName(lf.node_a);
+        const fabric::NodeId b = net_->nodeByName(lf.node_b);
+        const double factor = lf.derate;
+        const Tick when = std::max(lf.at, eventq()->curTick());
+        eventq()->scheduleLambda(when, [this, a, b, factor] {
+            if (factor == 0.0) {
+                net_->killLink(a, b);
+                ++links_cut;
+            } else {
+                net_->derateLink(a, b, factor);
+                ++links_derated;
+            }
+            ++faults_injected;
+        });
+    }
+    for (const auto &cf : plan_.channel_faults) {
+        const unsigned channel = cf.channel;
+        const Tick when = std::max(cf.at, eventq()->curTick());
+        eventq()->scheduleLambda(when, [this, channel] {
+            hbm_->blackoutChannel(channel);
+            ++channels_blacked_out;
+            ++faults_injected;
+        });
+    }
+}
+
+} // namespace fault
+} // namespace ehpsim

@@ -64,6 +64,8 @@ Xcd::Xcd(SimObject *parent, const std::string &name,
                       "ticks dispatches waited for a free ACE"),
       params_(params)
 {
+    if (params.active_cus == 0)
+        fatal(name, ": an XCD needs at least one active CU");
     if (params.active_cus > params.physical_cus)
         fatal("cannot enable ", params.active_cus, " of ",
               params.physical_cus, " CUs");

@@ -56,8 +56,6 @@ class Partition : public SimObject
      *        for fabric-less unit tests).
      * @param xcd_nodes Fabric node of each XCD (parallel to xcds).
      * @param queue_node Fabric node where queue memory lives.
-     */
-    /**
      * @param scope_ids Index of each XCD within @p scopes (defaults
      *        to 0..n-1 when the controller holds only these XCDs).
      */
@@ -79,6 +77,12 @@ class Partition : public SimObject
     void setPolicy(DistributionPolicy p) { policy_ = p; }
 
     DistributionPolicy policy() const { return policy_; }
+
+    /** Scope-controller index of each XCD (parallel to xcds). */
+    const std::vector<unsigned> &scopeIds() const
+    {
+        return scope_ids_;
+    }
 
     /** Total active CUs across the partition. */
     unsigned totalCus() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace ehpsim
 {
 namespace mem
@@ -12,6 +14,13 @@ HbmSubsystem::HbmSubsystem(SimObject *parent, const std::string &name,
     : MemDevice(parent, name),
       accesses(this, "accesses", "requests routed"),
       total_bytes(this, "total_bytes", "bytes routed"),
+      channels_dark(this, "channels_dark",
+                    "HBM channels mapped out by faults"),
+      remapped_accesses(this, "remapped_accesses",
+                        "accesses redirected off dark channels"),
+      degraded_peak_gbps(this, "degraded_peak_gbps",
+                         "surviving peak HBM bandwidth, GB/s",
+                         [this] { return peakHbmBandwidth() / 1e9; }),
       params_(params),
       map_(params.num_stacks, params.channels_per_stack,
            params.capacity_bytes, params.numa)
@@ -19,6 +28,7 @@ HbmSubsystem::HbmSubsystem(SimObject *parent, const std::string &name,
     const unsigned n = map_.numChannels();
     channels_.reserve(n);
     slices_.reserve(n);
+    channel_remap_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         channels_.push_back(std::make_unique<DramChannel>(
             this, "ch" + std::to_string(i), params.channel));
@@ -27,7 +37,64 @@ HbmSubsystem::HbmSubsystem(SimObject *parent, const std::string &name,
                 this, "mall" + std::to_string(i), params.cache,
                 channels_.back().get()));
         }
+        channel_remap_.push_back(i);
     }
+    channel_dead_.assign(n, false);
+    live_channels_ = n;
+}
+
+void
+HbmSubsystem::blackoutChannel(unsigned channel)
+{
+    if (channel >= numChannels())
+        fatal(name(), ": no HBM channel ", channel, " (",
+              numChannels(), " channels)");
+    if (channel_dead_[channel])
+        fatal(name(), ": HBM channel ", channel, " already dark");
+    if (live_channels_ == 1)
+        fatal(name(), ": cannot blackout the last live HBM channel");
+    channel_dead_[channel] = true;
+    --live_channels_;
+    ++channels_dark;
+
+    // Re-point every dark channel at a live stand-in: the next live
+    // channel in the same stack if one survives, otherwise the next
+    // live channel overall. Deterministic, so the remap (and every
+    // access it redirects) is identical across runs.
+    const unsigned n = numChannels();
+    const unsigned cps = map_.channelsPerStack();
+    for (unsigned c = 0; c < n; ++c) {
+        if (!channel_dead_[c]) {
+            channel_remap_[c] = c;
+            continue;
+        }
+        unsigned target = c;
+        const unsigned stack = c / cps;
+        const unsigned local = c % cps;
+        for (unsigned off = 1; off < cps; ++off) {
+            const unsigned cand = stack * cps + (local + off) % cps;
+            if (!channel_dead_[cand]) {
+                target = cand;
+                break;
+            }
+        }
+        if (channel_dead_[target]) {
+            for (unsigned off = 1; off < n; ++off) {
+                const unsigned cand = (c + off) % n;
+                if (!channel_dead_[cand]) {
+                    target = cand;
+                    break;
+                }
+            }
+        }
+        channel_remap_[c] = target;
+    }
+}
+
+bool
+HbmSubsystem::channelAlive(unsigned channel) const
+{
+    return channel < numChannels() && !channel_dead_[channel];
 }
 
 AccessResult
@@ -51,13 +118,14 @@ HbmSubsystem::access(Tick when, Addr addr, std::uint64_t bytes,
         const std::uint64_t in_stripe = stripe - (a % stripe);
         const std::uint64_t chunk = std::min(remaining, in_stripe);
         const ChannelLocation loc = map_.locate(a);
+        const unsigned ch = channel_remap_[loc.channel];
+        if (ch != loc.channel)
+            ++remapped_accesses;
         AccessResult r;
         if (params_.enable_infinity_cache) {
-            r = slices_[loc.channel]->access(when, loc.local, chunk,
-                                             write);
+            r = slices_[ch]->access(when, loc.local, chunk, write);
         } else {
-            r = channels_[loc.channel]->access(when, loc.local, chunk,
-                                               write);
+            r = channels_[ch]->access(when, loc.local, chunk, write);
         }
         res.hit = res.hit && r.hit;
         res.bytes_below += r.bytes_below;
@@ -73,7 +141,7 @@ HbmSubsystem::access(Tick when, Addr addr, std::uint64_t bytes,
 BytesPerSecond
 HbmSubsystem::peakHbmBandwidth() const
 {
-    return params_.channel.bandwidth * map_.numChannels();
+    return params_.channel.bandwidth * live_channels_;
 }
 
 BytesPerSecond
@@ -81,7 +149,7 @@ HbmSubsystem::peakCacheBandwidth() const
 {
     if (!params_.enable_infinity_cache)
         return peakHbmBandwidth();
-    return params_.cache.hit_bandwidth * map_.numChannels();
+    return params_.cache.hit_bandwidth * live_channels_;
 }
 
 double

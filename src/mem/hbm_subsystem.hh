@@ -59,10 +59,24 @@ class HbmSubsystem : public MemDevice
                                              : nullptr;
     }
 
-    /** Peak HBM bandwidth across all channels (bytes/s). */
+    /**
+     * Map out @p channel (HBM fault): its traffic re-interleaves
+     * onto a surviving stand-in channel — same stack preferred —
+     * and peak bandwidth drops accordingly. Fatal on a bad index,
+     * a channel that is already dark, or the last live channel.
+     */
+    void blackoutChannel(unsigned channel);
+
+    bool channelAlive(unsigned channel) const;
+
+    /** Channels still in service. */
+    unsigned liveChannels() const { return live_channels_; }
+
+    /** Peak HBM bandwidth across the live channels (bytes/s). */
     BytesPerSecond peakHbmBandwidth() const;
 
-    /** Peak Infinity-Cache bandwidth across all slices (bytes/s). */
+    /** Peak Infinity-Cache bandwidth across the live slices
+     *  (bytes/s). */
     BytesPerSecond peakCacheBandwidth() const;
 
     /** Aggregate achieved bandwidth since construction. */
@@ -74,6 +88,9 @@ class HbmSubsystem : public MemDevice
     /** @{ statistics */
     stats::Scalar accesses;
     stats::Scalar total_bytes;
+    stats::Scalar channels_dark;
+    stats::Scalar remapped_accesses;
+    stats::Formula degraded_peak_gbps;
     /** @} */
 
   private:
@@ -81,6 +98,11 @@ class HbmSubsystem : public MemDevice
     InterleaveMap map_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::vector<std::unique_ptr<InfinityCacheSlice>> slices_;
+    /** channel_remap_[c] = live stand-in for channel c (identity
+     *  while c is alive). */
+    std::vector<unsigned> channel_remap_;
+    std::vector<bool> channel_dead_;
+    unsigned live_channels_ = 0;
     Tick first_access_ = maxTick;
     Tick last_complete_ = 0;
 };

@@ -5,6 +5,25 @@
 namespace ehpsim
 {
 
+EventQueue::~EventQueue()
+{
+    // Pending self-deleting events would otherwise leak: once
+    // scheduled, the queue is the only owner a fire-and-forget
+    // LambdaEvent has (e.g. a fault or retry scheduled past the
+    // point the simulation stopped caring).
+    while (!queue_.empty()) {
+        const Entry entry = queue_.top();
+        queue_.pop();
+        const auto it = dead_seqs_.find(entry.seq);
+        if (it != dead_seqs_.end()) {
+            dead_seqs_.erase(it);
+            continue;       // descheduled; the owner reclaims it
+        }
+        if (entry.ev->selfDeleting())
+            delete entry.ev;
+    }
+}
+
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
@@ -92,9 +111,21 @@ EventQueue::step()
     Event *ev = entry.ev;
     ev->scheduled_ = false;
     ++num_processed_;
-    ev->process();
-    if (ev->selfDeleting())
-        delete ev;
+    if (ev->selfDeleting()) {
+        // Free the event even when process() throws (a fatal() on an
+        // error path propagates through here).
+        try {
+            ev->process();
+        } catch (...) {
+            if (!ev->scheduled_)
+                delete ev;
+            throw;
+        }
+        if (!ev->scheduled_)
+            delete ev;
+    } else {
+        ev->process();
+    }
     return true;
 }
 

@@ -6,7 +6,9 @@
  * sequence) so simulations are fully deterministic. Events are owned
  * by their creators; the queue never deletes them. Callback-style
  * events (LambdaEvent) are provided for one-shot work and can be
- * self-deleting.
+ * self-deleting: those the queue frees after they fire, when their
+ * process() throws, or — if they never fire — when the queue itself
+ * is destroyed.
  */
 
 #ifndef EHPSIM_SIM_EVENT_QUEUE_HH
@@ -93,6 +95,9 @@ class EventQueue
 {
   public:
     EventQueue() = default;
+
+    /** Frees any still-pending self-deleting events. */
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;

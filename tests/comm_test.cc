@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "comm/comm_group.hh"
+#include "sim/rng.hh"
 #include "soc/node_topology.hh"
 #include "sweep/sweep_runner.hh"
 
@@ -428,4 +429,66 @@ TEST(CommSweep, StatAggregationAtEightWorkersIsDeterministic)
     const std::string parallel = runStatAggregationSweep(8);
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
+}
+
+namespace
+{
+
+/**
+ * The retry/backoff path under a worker pool: every job injects
+ * transient chunk faults from its own seeded Rng and serializes the
+ * retry counters and distribution alongside the op timing. Any
+ * cross-worker state in the retry machinery shows up as a byte diff
+ * (and as a TSan report in the CI gate).
+ */
+std::string
+runRetrySweep(unsigned jobs)
+{
+    sweep::SweepRunner runner(jobs);
+    for (unsigned j = 0; j < 12; ++j) {
+        const std::uint64_t bytes = (8 + 4 * (j % 3)) * MiB;
+        runner.addJob(
+            "retry/" + std::to_string(j), [j, bytes](json::JsonWriter &jw) {
+                SimObject root(nullptr, "root");
+                auto node = NodeTopology::mi300aQuadNode(&root);
+                EventQueue eq;
+                CommGroup group(node.get(), "comm", node->network(),
+                                node->deviceRanks(), &eq,
+                                fineGrained());
+                auto rng = std::make_shared<Rng>(1000 + j);
+                group.setChunkFaultHook(
+                    [rng](Tick, fabric::NodeId, fabric::NodeId,
+                          std::uint64_t, unsigned) {
+                        return rng->nextBool(0.05);
+                    });
+                auto op =
+                    group.allReduce(0, bytes, Algorithm::ring);
+                group.waitAll();
+                jw.beginObject();
+                jw.kv("finish_ticks",
+                      static_cast<double>(op->finishTick()));
+                jw.kv("chunk_retries", group.chunk_retries.value());
+                jw.kv("retry_wait_ticks",
+                      group.retry_wait_ticks.value());
+                jw.key("comm");
+                group.dumpJsonStats(jw);
+                jw.endObject();
+            });
+    }
+    const auto results = runner.run();
+    std::ostringstream os;
+    sweep::SweepRunner::dumpJson(os, "comm_retry_sweep", results);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(CommSweep, RetryPathAtEightWorkersIsDeterministic)
+{
+    const std::string serial = runRetrySweep(1);
+    const std::string parallel = runRetrySweep(8);
+    const std::string again = runRetrySweep(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(parallel, again);
 }

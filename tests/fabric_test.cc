@@ -167,6 +167,53 @@ TEST(Network, NodeLookupByName)
     EXPECT_EQ(f.net.nodeName(f.hbm), "hbm0");
 }
 
+TEST(Network, NameLookupStaysExactAtScale)
+{
+    SimObject root(nullptr, "root");
+    Network net(&root, "net");
+    std::vector<NodeId> ids;
+    for (int i = 0; i < 64; ++i) {
+        ids.push_back(
+            net.addNode("n" + std::to_string(i), NodeKind::iod));
+    }
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(net.nodeByName("n" + std::to_string(i)), ids[i]);
+    // The name map rejects duplicates even late in population.
+    EXPECT_THROW(net.addNode("n63", NodeKind::iod),
+                 std::runtime_error);
+}
+
+TEST(Network, KilledLinkReroutesTheLongWayRound)
+{
+    MeshFixture f;
+    ASSERT_EQ(f.net.hopCount(f.iod[0], f.iod[1]), 1u);
+    f.net.killLink(f.iod[0], f.iod[1]);
+    // The 4-ring still connects them the other way.
+    EXPECT_TRUE(f.net.reachable(f.iod[0], f.iod[1]));
+    EXPECT_EQ(f.net.hopCount(f.iod[0], f.iod[1]), 3u);
+    EXPECT_FALSE(f.net.linkAlive(f.iod[0], f.iod[1]));
+}
+
+TEST(Network, PartitionedGraphFatalsOnUseNotOnKill)
+{
+    MeshFixture f;
+    // Cutting both of iod0's ring links strands it (and its XCD)
+    // from the HBM stack on iod2.
+    f.net.killLink(f.iod[0], f.iod[1]);
+    f.net.killLink(f.iod[3], f.iod[0]);
+    EXPECT_FALSE(f.net.reachable(f.xcd, f.hbm));
+    EXPECT_TRUE(f.net.reachable(f.xcd, f.iod[0]));
+    try {
+        f.net.send(0, f.xcd, f.hbm, 4096);
+        FAIL() << "send across the partition must fatal";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("'hbm0'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'xcd0'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("partitioned"), std::string::npos) << msg;
+    }
+}
+
 TEST(Network, EnergyRollsUpAcrossLinks)
 {
     MeshFixture f;

@@ -130,6 +130,30 @@ TEST(Partition, DispatchUsesAllXcds)
     EXPECT_EQ(sig.completed_at, res.complete);
 }
 
+TEST(Partition, ScopeIdsDefaultToIdentity)
+{
+    PartitionFixture f;
+    // The fixture passes no scope_ids: they default to 0..n-1.
+    ASSERT_EQ(f.part->scopeIds().size(), 2u);
+    EXPECT_EQ(f.part->scopeIds()[0], 0u);
+    EXPECT_EQ(f.part->scopeIds()[1], 1u);
+
+    // Explicit ids pass through untouched (e.g. a partition over
+    // the second half of a controller's XCDs).
+    Partition swapped(&f.root, "swapped",
+                      {f.xcd0.get(), f.xcd1.get()}, &f.scopes, &f.net,
+                      {f.x0, f.x1}, f.iod0, {1, 0});
+    ASSERT_EQ(swapped.scopeIds().size(), 2u);
+    EXPECT_EQ(swapped.scopeIds()[0], 1u);
+    EXPECT_EQ(swapped.scopeIds()[1], 0u);
+
+    // A partially specified list cannot silently misalign.
+    EXPECT_THROW(Partition(&f.root, "bad",
+                           {f.xcd0.get(), f.xcd1.get()}, &f.scopes,
+                           &f.net, {f.x0, f.x1}, f.iod0, {0}),
+                 std::runtime_error);
+}
+
 TEST(Partition, SyncMessagesAreNminus1HighPriority)
 {
     PartitionFixture f;
