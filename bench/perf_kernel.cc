@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Event-kernel performance microbenchmark (the repo's tracked perf
+ * baseline, DESIGN.md §11).
+ *
+ * Every figure-level sweep funnels through EventQueue, so kernel
+ * throughput bounds how large a sweep the repo can run. This bench
+ * measures the kernel hot paths directly and emits BENCH_kernel.json:
+ *
+ *   schedule_churn   schedule/deschedule/reschedule mix over a pool
+ *                    of persistent events (the deschedule-heavy
+ *                    pattern retry/timeout logic produces)
+ *   oneshot_storm    chains of one-shot callback events through the
+ *                    std::function compat path (scheduleLambda)
+ *   oneshot_storm_pooled  the same chains through the
+ *                    scheduleCallback() pool fast path
+ *   comm_allreduce   ring + direct all-reduce on the Fig. 18 octo
+ *                    MI300X node, driven through CommGroup
+ *   fault_storm      all-reduce under a transient chunk-error rate
+ *                    plus mid-flight link derates (retry/backoff)
+ *
+ * JSON contract: everything under a benchmark's "deterministic" key
+ * is byte-identical run-to-run (same build, any host); everything
+ * host-dependent (WallTimer readings and rates derived from them)
+ * lives under "wall" and is excluded from determinism checks, per
+ * the sim/wall_timer.hh contract. perf_kernel_test asserts this.
+ *
+ * Flags: --quick (CI-sized inputs), --json FILE, --repeat N (take
+ * the best wall time of N runs; deterministic fields are identical
+ * across runs by construction).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/comm_group.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/rng.hh"
+#include "sim/units.hh"
+#include "sim/wall_timer.hh"
+#include "soc/node_topology.hh"
+
+using namespace ehpsim;
+
+namespace
+{
+
+struct BenchResult
+{
+    std::string name;
+    /** Deterministic payload: (key, integer value) pairs. */
+    std::vector<std::pair<std::string, std::uint64_t>> det;
+    double best_seconds = 0;
+    /** Events fired per wall second (processed / best_seconds). */
+    double events_per_sec = 0;
+    /** All kernel ops (schedule+deschedule+reschedule+fire) per s. */
+    double ops_per_sec = 0;
+};
+
+struct Sizes
+{
+    // schedule_churn
+    std::size_t churn_events;
+    unsigned churn_rounds;
+    // oneshot_storm
+    std::size_t storm_chains;
+    std::uint64_t storm_depth;
+    // comm / fault
+    std::uint64_t comm_bytes;
+    unsigned comm_iters;
+    std::uint64_t fault_bytes;
+};
+
+Sizes
+sizesFor(bool quick)
+{
+    if (quick)
+        return {2'000, 20, 64, 1'000, 16 * MiB, 1, 16 * MiB};
+    return {20'000, 100, 256, 5'000, 64 * MiB, 4, 64 * MiB};
+}
+
+class CountingEvent : public Event
+{
+  public:
+    explicit CountingEvent(std::uint64_t *fired) : fired_(fired) {}
+
+    void process() override { ++*fired_; }
+
+  private:
+    std::uint64_t *fired_;
+};
+
+/**
+ * The deschedule-heavy pattern: every round schedules the whole
+ * population, reschedules all of it once (retry/timeout idiom),
+ * deschedules a quarter (cancelled timeouts), then drains. On the
+ * tombstone kernel each reschedule/deschedule grows dead_seqs_ and
+ * leaves a stale heap entry to skip; the indexed heap removes in
+ * place.
+ */
+BenchResult
+benchScheduleChurn(const Sizes &sz, unsigned repeat)
+{
+    BenchResult r;
+    r.name = "schedule_churn";
+    double best = -1;
+    std::uint64_t fired = 0, ops = 0, final_tick = 0;
+    std::uint64_t processed = 0, peak_live = 0, heap_capacity = 0;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+        fired = ops = 0;
+        EventQueue eq;
+        std::vector<CountingEvent> events(sz.churn_events,
+                                          CountingEvent(&fired));
+        Rng rng(12345);
+        WallTimer wt;
+        for (unsigned round = 0; round < sz.churn_rounds; ++round) {
+            const Tick base = eq.curTick() + 1;
+            for (auto &ev : events) {
+                eq.schedule(&ev, base + rng.nextBounded(1024));
+                ++ops;
+            }
+            for (auto &ev : events) {
+                eq.reschedule(&ev, base + rng.nextBounded(1024));
+                ++ops;
+            }
+            for (std::size_t i = 0; i < events.size(); i += 4) {
+                eq.deschedule(&events[i]);
+                ++ops;
+            }
+            eq.run();
+            ops += fired;
+        }
+        final_tick = eq.curTick();
+        processed = eq.numProcessed();
+        peak_live = eq.peakLive();
+        heap_capacity = eq.capacity();
+        const double s = wt.seconds();
+        if (best < 0 || s < best)
+            best = s;
+    }
+    r.det = {{"events_fired", fired},
+             {"events_processed", processed},
+             {"kernel_ops", ops},
+             {"final_tick", final_tick},
+             {"peak_live", peak_live},
+             {"heap_capacity", heap_capacity}};
+    r.best_seconds = best;
+    r.events_per_sec = static_cast<double>(processed) / best;
+    r.ops_per_sec = static_cast<double>(ops) / best;
+    return r;
+}
+
+/** Forward decl so the chain lambda can re-arm itself. */
+void hop(EventQueue &eq, std::vector<std::uint64_t> &left,
+         std::size_t i);
+
+void
+hop(EventQueue &eq, std::vector<std::uint64_t> &left, std::size_t i)
+{
+    // Intentionally the std::function compat path, so baseline and
+    // pooled kernels run the same call site.
+    // ehpsim-lint: allow(event-alloc)
+    eq.scheduleLambda(eq.curTick() + 1 + (i % 7), [&eq, &left, i] {
+        if (--left[i] > 0)
+            hop(eq, left, i);
+    });
+}
+
+/**
+ * Independent chains of one-shot callbacks, each event scheduling
+ * its successor: steady-state one-shot allocation, the pattern of
+ * every chunk-completion and fault event in the tree.
+ */
+BenchResult
+benchOneshotStorm(const Sizes &sz, unsigned repeat)
+{
+    BenchResult r;
+    r.name = "oneshot_storm";
+    double best = -1;
+    std::uint64_t processed = 0, final_tick = 0, pool_capacity = 0;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+        EventQueue eq;
+        std::vector<std::uint64_t> left(sz.storm_chains,
+                                        sz.storm_depth);
+        WallTimer wt;
+        for (std::size_t i = 0; i < left.size(); ++i)
+            hop(eq, left, i);
+        eq.run();
+        processed = eq.numProcessed();
+        final_tick = eq.curTick();
+        pool_capacity = eq.poolCapacity();
+        const double s = wt.seconds();
+        if (best < 0 || s < best)
+            best = s;
+    }
+    r.det = {{"events_processed", processed},
+             {"final_tick", final_tick},
+             {"pool_capacity", pool_capacity}};
+    r.best_seconds = best;
+    r.events_per_sec = static_cast<double>(processed) / best;
+    r.ops_per_sec = 2 * r.events_per_sec; // one schedule per fire
+    return r;
+}
+
+void poolHop(EventQueue &eq, std::vector<std::uint64_t> &left,
+             std::size_t i);
+
+void
+poolHop(EventQueue &eq, std::vector<std::uint64_t> &left,
+        std::size_t i)
+{
+    eq.scheduleCallback(eq.curTick() + 1 + (i % 7), [&eq, &left, i] {
+        if (--left[i] > 0)
+            poolHop(eq, left, i);
+    });
+}
+
+/** The same chains through the scheduleCallback() pool fast path:
+ *  no std::function, no per-event allocation in steady state. */
+BenchResult
+benchOneshotStormPooled(const Sizes &sz, unsigned repeat)
+{
+    BenchResult r;
+    r.name = "oneshot_storm_pooled";
+    double best = -1;
+    std::uint64_t processed = 0, final_tick = 0, pool_capacity = 0;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+        EventQueue eq;
+        std::vector<std::uint64_t> left(sz.storm_chains,
+                                        sz.storm_depth);
+        WallTimer wt;
+        for (std::size_t i = 0; i < left.size(); ++i)
+            poolHop(eq, left, i);
+        eq.run();
+        processed = eq.numProcessed();
+        final_tick = eq.curTick();
+        pool_capacity = eq.poolCapacity();
+        const double s = wt.seconds();
+        if (best < 0 || s < best)
+            best = s;
+    }
+    r.det = {{"events_processed", processed},
+             {"final_tick", final_tick},
+             {"pool_capacity", pool_capacity}};
+    r.best_seconds = best;
+    r.events_per_sec = static_cast<double>(processed) / best;
+    r.ops_per_sec = 2 * r.events_per_sec;
+    return r;
+}
+
+/** Ring + direct all-reduce on the octo node (Fig. 18b). */
+BenchResult
+benchCommAllReduce(const Sizes &sz, unsigned repeat)
+{
+    BenchResult r;
+    r.name = "comm_allreduce_octo";
+    double best = -1;
+    std::uint64_t processed = 0, final_tick = 0, link_bytes = 0;
+    std::uint64_t peak_live = 0, heap_capacity = 0;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+        SimObject root(nullptr, "root");
+        auto octo = soc::NodeTopology::mi300xOctoNode(&root);
+        EventQueue eq;
+        comm::CommParams params;
+        params.chunk_bytes = 1 * MiB;
+        comm::CommGroup group(octo.get(), "comm", octo->network(),
+                              octo->deviceRanks(), &eq, params);
+        WallTimer wt;
+        std::uint64_t lb = 0;
+        for (unsigned it = 0; it < sz.comm_iters; ++it) {
+            auto ring = group.allReduce(eq.curTick(), sz.comm_bytes,
+                                        comm::Algorithm::ring);
+            group.waitAll();
+            auto direct = group.allReduce(eq.curTick(), sz.comm_bytes,
+                                          comm::Algorithm::direct);
+            group.waitAll();
+            lb += ring->linkBytes() + direct->linkBytes();
+        }
+        processed = eq.numProcessed();
+        final_tick = eq.curTick();
+        link_bytes = lb;
+        peak_live = eq.peakLive();
+        heap_capacity = eq.capacity();
+        const double s = wt.seconds();
+        if (best < 0 || s < best)
+            best = s;
+    }
+    r.det = {{"events_processed", processed},
+             {"final_tick", final_tick},
+             {"link_bytes", link_bytes},
+             {"peak_live", peak_live},
+             {"heap_capacity", heap_capacity}};
+    r.best_seconds = best;
+    r.events_per_sec = static_cast<double>(processed) / best;
+    r.ops_per_sec = 2 * r.events_per_sec;
+    return r;
+}
+
+/**
+ * All-reduce under a 5% transient chunk-error rate plus two x16
+ * derates mid-flight: the retry/backoff path reschedules heavily.
+ */
+BenchResult
+benchFaultStorm(const Sizes &sz, unsigned repeat)
+{
+    BenchResult r;
+    r.name = "fault_storm";
+    double best = -1;
+    std::uint64_t processed = 0, final_tick = 0, retries = 0;
+    std::uint64_t faults = 0, peak_live = 0;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+        SimObject root(nullptr, "root");
+        auto octo = soc::NodeTopology::mi300xOctoNode(&root);
+        EventQueue eq;
+        comm::CommParams params;
+        params.chunk_bytes = 1 * MiB;
+        params.retry_timeout = 200'000'000;     // 200 us
+        params.max_retries = 16;
+        comm::CommGroup group(octo.get(), "comm", octo->network(),
+                              octo->deviceRanks(), &eq, params);
+        fault::FaultPlan plan;
+        plan.seed = 20240624;
+        plan.chunk_error_rate = 0.05;
+        plan.link_faults.push_back(
+            {"mi300x0", "mi300x1", 5'000'000, 0.5});
+        plan.link_faults.push_back(
+            {"mi300x2", "mi300x3", 9'000'000, 0.5});
+        fault::FaultInjector inj(octo.get(), "inj", plan, &eq);
+        inj.attachNetwork(octo->network());
+        inj.attachCommGroup(&group);
+        inj.arm();
+        WallTimer wt;
+        group.allReduce(0, sz.fault_bytes, comm::Algorithm::ring);
+        group.waitAll();
+        eq.run();       // drain any faults scheduled past completion
+        processed = eq.numProcessed();
+        final_tick = eq.curTick();
+        retries = static_cast<std::uint64_t>(
+            group.chunk_retries.value());
+        faults = static_cast<std::uint64_t>(
+            inj.faults_injected.value());
+        peak_live = eq.peakLive();
+        const double s = wt.seconds();
+        if (best < 0 || s < best)
+            best = s;
+    }
+    r.det = {{"events_processed", processed},
+             {"final_tick", final_tick},
+             {"chunk_retries", retries},
+             {"faults_injected", faults},
+             {"peak_live", peak_live}};
+    r.best_seconds = best;
+    r.events_per_sec = static_cast<double>(processed) / best;
+    r.ops_per_sec = 2 * r.events_per_sec;
+    return r;
+}
+
+void
+dumpJson(std::ostream &os, bool quick,
+         const std::vector<BenchResult> &results)
+{
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", "ehpsim-bench-kernel-v1");
+    jw.kv("quick", quick);
+    jw.key("benchmarks");
+    jw.beginArray();
+    for (const auto &r : results) {
+        jw.beginObject();
+        jw.kv("name", r.name);
+        jw.key("deterministic");
+        jw.beginObject();
+        for (const auto &[k, v] : r.det)
+            jw.kv(k, v);
+        jw.endObject();
+        jw.key("wall");
+        jw.beginObject();
+        jw.kv("best_seconds", r.best_seconds);
+        jw.kv("events_per_sec", r.events_per_sec);
+        jw.kv("ops_per_sec", r.ops_per_sec);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << "\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    unsigned repeat = 3;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_kernel [--quick] [--json FILE] "
+                         "[--repeat N]\n");
+            return 2;
+        }
+    }
+    if (repeat == 0)
+        repeat = 1;
+
+    const Sizes sz = sizesFor(quick);
+    std::vector<BenchResult> results;
+    results.push_back(benchScheduleChurn(sz, repeat));
+    results.push_back(benchOneshotStorm(sz, repeat));
+    results.push_back(benchOneshotStormPooled(sz, repeat));
+    results.push_back(benchCommAllReduce(sz, repeat));
+    results.push_back(benchFaultStorm(sz, repeat));
+
+    for (const auto &r : results) {
+        std::printf("[kernel_bench] %s: %.3f s best, %.3g events/s, "
+                    "%.3g ops/s\n",
+                    r.name.c_str(), r.best_seconds, r.events_per_sec,
+                    r.ops_per_sec);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "perf_kernel: cannot open %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        dumpJson(out, quick, results);
+        std::printf("[kernel_bench] JSON -> %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -123,7 +123,10 @@ CommGroup::CommGroup(SimObject *parent, const std::string &name,
         }
     }
     // Collect every directed link any rank pair routes over, in a
-    // deterministic first-encounter order.
+    // deterministic first-encounter order. Fully-connected groups
+    // use exactly one link per ordered pair; multi-hop routes can
+    // only share links, so this is an upper bound.
+    links_.reserve(ranks_.size() * (ranks_.size() - 1));
     for (std::size_t i = 0; i < ranks_.size(); ++i) {
         for (std::size_t j = 0; j < ranks_.size(); ++j) {
             if (i == j)
@@ -191,6 +194,42 @@ CommGroup::chunksOf(std::uint64_t bytes) const
     return out;
 }
 
+std::uint64_t
+CommGroup::taskCount(Collective kind, std::uint64_t bytes) const
+{
+    const unsigned n = numRanks();
+    if (n < 2 || bytes == 0)
+        return 0;
+    const auto chunks = [this](std::uint64_t b) {
+        return b == 0 ? std::uint64_t{0}
+                      : (b + params_.chunk_bytes - 1) /
+                            params_.chunk_bytes;
+    };
+    switch (kind) {
+      case Collective::allReduce:
+      case Collective::allGather:
+      case Collective::reduceScatter: {
+        // Ring and direct schedules place the same number of
+        // transfers: steps (2(N-1) for all-reduce, N-1 otherwise)
+        // per chunk of each shard.
+        const std::uint64_t steps =
+            kind == Collective::allReduce ? 2 * (n - 1) : n - 1;
+        std::uint64_t total = 0;
+        for (std::uint64_t s : splitEven(bytes, n))
+            total += steps * chunks(s);
+        return total;
+      }
+      case Collective::broadcast:
+        return static_cast<std::uint64_t>(n - 1) * chunks(bytes);
+      case Collective::allToAll:
+        return static_cast<std::uint64_t>(n) * (n - 1) *
+               chunks(bytes);
+      case Collective::sendRecv:
+        return chunks(bytes);
+    }
+    panic("bad collective kind");
+}
+
 std::uint32_t
 CommGroup::addTask(CollectiveOp &op, unsigned src_rank,
                    unsigned dst_rank, std::uint64_t bytes,
@@ -215,6 +254,7 @@ CommGroup::buildRing(CollectiveOp &op, std::uint64_t bytes,
     const unsigned n = numRanks();
     if (n < 2 || bytes == 0)
         return;
+    op.tasks_.reserve(op.tasks_.size() + taskCount(op.kind_, bytes));
 
     switch (op.kind_) {
       case Collective::allReduce:
@@ -280,6 +320,7 @@ CommGroup::buildDirect(CollectiveOp &op, std::uint64_t bytes,
     const unsigned n = numRanks();
     if (n < 2 || bytes == 0)
         return;
+    op.tasks_.reserve(op.tasks_.size() + taskCount(op.kind_, bytes));
 
     switch (op.kind_) {
       case Collective::allReduce: {
@@ -389,6 +430,10 @@ CommGroup::start(Tick when, OpHandle op)
     }
     for (auto &t : op->tasks_)
         t.ready = op->start_;
+    // Pre-size the scheduling heap for the op's worst-case fan-out
+    // (every task scheduled at once, e.g. a dependency-free direct
+    // schedule) so the burst below never grows it incrementally.
+    eventq()->reserve(eventq()->size() + op->tasks_.size());
     outstanding_.push_back(op);
     for (std::uint32_t i = 0; i < op->tasks_.size(); ++i) {
         if (op->tasks_[i].deps == 0)
@@ -400,8 +445,11 @@ CommGroup::start(Tick when, OpHandle op)
 void
 CommGroup::scheduleTask(const OpHandle &op, std::uint32_t idx)
 {
-    eventq()->scheduleLambda(op->tasks_[idx].ready,
-                             [this, op, idx] { runTask(op, idx); });
+    // Pool fast path: the capture (this, OpHandle, idx) fits a
+    // recycled slot, so per-chunk scheduling allocates nothing in
+    // steady state.
+    eventq()->scheduleCallback(op->tasks_[idx].ready,
+                               [this, op, idx] { runTask(op, idx); });
 }
 
 void
@@ -441,8 +489,9 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
         ++chunk_retries;
         retry_wait_ticks += static_cast<double>(backoff);
         retry_latency.sample(static_cast<double>(backoff));
-        eventq()->scheduleLambda(eventq()->curTick() + backoff,
-                                 [this, op, idx] { runTask(op, idx); });
+        eventq()->scheduleCallback(
+            eventq()->curTick() + backoff,
+            [this, op, idx] { runTask(op, idx); });
         return;
     }
     const auto res =

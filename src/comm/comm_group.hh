@@ -256,6 +256,13 @@ class CommGroup : public SimObject
     /** Split @p bytes into chunks of at most params_.chunk_bytes. */
     std::vector<std::uint64_t> chunksOf(std::uint64_t bytes) const;
 
+    /**
+     * Exact number of chunk transfers a collective over @p bytes
+     * schedules (identical for ring and direct), used to pre-size
+     * the task DAG and the event queue's scheduling heap.
+     */
+    std::uint64_t taskCount(Collective kind, std::uint64_t bytes) const;
+
     /** Append a task; wires dependencies. @return its index. */
     std::uint32_t addTask(CollectiveOp &op, unsigned src_rank,
                           unsigned dst_rank, std::uint64_t bytes,

@@ -90,7 +90,7 @@ FaultInjector::arm()
         const fabric::NodeId b = net_->nodeByName(lf.node_b);
         const double factor = lf.derate;
         const Tick when = std::max(lf.at, eventq()->curTick());
-        eventq()->scheduleLambda(when, [this, a, b, factor] {
+        eventq()->scheduleCallback(when, [this, a, b, factor] {
             if (factor == 0.0) {
                 net_->killLink(a, b);
                 ++links_cut;
@@ -104,7 +104,7 @@ FaultInjector::arm()
     for (const auto &cf : plan_.channel_faults) {
         const unsigned channel = cf.channel;
         const Tick when = std::max(cf.at, eventq()->curTick());
-        eventq()->scheduleLambda(when, [this, channel] {
+        eventq()->scheduleCallback(when, [this, channel] {
             hbm_->blackoutChannel(channel);
             ++channels_blacked_out;
             ++faults_injected;

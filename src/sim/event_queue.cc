@@ -5,22 +5,135 @@
 namespace ehpsim
 {
 
+// ---------------------------------------------------------------------
+// EventPool
+// ---------------------------------------------------------------------
+
+PoolEvent *
+EventPool::acquire()
+{
+    if (!free_) {
+        auto slab = std::make_unique<PoolEvent[]>(slabSize);
+        for (std::size_t i = 0; i < slabSize; ++i) {
+            slab[i].next_free_ = free_;
+            free_ = &slab[i];
+        }
+        slabs_.push_back(std::move(slab));
+    }
+    PoolEvent *ev = free_;
+    free_ = ev->next_free_;
+    ev->next_free_ = nullptr;
+    return ev;
+}
+
+void
+EventPool::release(PoolEvent *ev)
+{
+    // Destroy the inline callable eagerly — captured resources
+    // (shared_ptrs, buffers) must not outlive the firing, exactly as
+    // deleting a LambdaEvent would release them.
+    ev->destroy_(ev->store_);
+    ev->invoke_ = nullptr;
+    ev->destroy_ = nullptr;
+    ev->next_free_ = free_;
+    free_ = ev;
+}
+
+// ---------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------
+
 EventQueue::~EventQueue()
 {
-    // Pending self-deleting events would otherwise leak: once
+    // Pending queue-owned events would otherwise leak: once
     // scheduled, the queue is the only owner a fire-and-forget
-    // LambdaEvent has (e.g. a fault or retry scheduled past the
-    // point the simulation stopped caring).
-    while (!queue_.empty()) {
-        const Entry entry = queue_.top();
-        queue_.pop();
-        const auto it = dead_seqs_.find(entry.seq);
-        if (it != dead_seqs_.end()) {
-            dead_seqs_.erase(it);
-            continue;       // descheduled; the owner reclaims it
-        }
-        if (entry.ev->selfDeleting())
-            delete entry.ev;
+    // one-shot has (e.g. a fault or retry scheduled past the point
+    // the simulation stopped caring). Pool storage is reclaimed by
+    // the pool's slabs, but the inline callables still need their
+    // destructors run.
+    for (const Entry &e : heap_) {
+        if (e.ev->selfDeleting())
+            releaseOneShot(e.ev);
+    }
+}
+
+std::size_t
+EventQueue::siftUp(std::size_t i)
+{
+    Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!entryLess(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        heap_[i].ev->heap_index_ = i;
+        i = parent;
+    }
+    heap_[i] = e;
+    e.ev->heap_index_ = i;
+    return i;
+}
+
+std::size_t
+EventQueue::siftDown(std::size_t i)
+{
+    Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && entryLess(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!entryLess(heap_[child], e))
+            break;
+        heap_[i] = heap_[child];
+        heap_[i].ev->heap_index_ = i;
+        i = child;
+    }
+    heap_[i] = e;
+    e.ev->heap_index_ = i;
+    return i;
+}
+
+void
+EventQueue::pushEntry(Entry e)
+{
+    heap_.push_back(e);
+    e.ev->heap_index_ = heap_.size() - 1;
+    siftUp(heap_.size() - 1);
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = heap_.front();
+    top.ev->heap_index_ = Event::notQueued;
+    const std::size_t last = heap_.size() - 1;
+    if (last > 0) {
+        heap_[0] = heap_[last];
+        heap_[0].ev->heap_index_ = 0;
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    return top;
+}
+
+void
+EventQueue::removeAt(std::size_t i)
+{
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+        heap_[i] = heap_[last];
+        heap_[i].ev->heap_index_ = i;
+        heap_.pop_back();
+        // The replacement may need to move either way.
+        if (siftUp(i) == i)
+            siftDown(i);
+    } else {
+        heap_.pop_back();
     }
 }
 
@@ -35,24 +148,30 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->scheduled_ = true;
     ev->when_ = when;
     ev->seq_ = next_seq_++;
-    queue_.push(Entry{when, ev->priority(), ev->seq_, ev});
-    ++live_count_;
+    pushEntry(Entry{when, ev->priority_, ev->seq_, ev});
+    if (++live_count_ > peak_live_)
+        peak_live_ = live_count_;
 }
 
 void
 EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
                            int priority)
 {
-    schedule(new LambdaEvent(std::move(fn), priority), when);
+    scheduleCallback(when, std::move(fn), priority);
 }
 
 void
 EventQueue::killEntry(Event *ev)
 {
-    // Lazy removal: tombstone the entry's sequence number; the stale
-    // queue entry is skipped later by seq alone, so the event object
-    // may be freed in the meantime.
-    dead_seqs_.insert(ev->seq_);
+    // True removal: the entry leaves the heap (or the in-flight
+    // dispatch batch) right now, while @p ev is still live, so the
+    // owner may free the event the moment this returns.
+    const std::size_t idx = ev->heap_index_;
+    if (idx & Event::batchFlag)
+        batch_[idx & ~Event::batchFlag].ev = nullptr;
+    else
+        removeAt(idx);
+    ev->heap_index_ = Event::notQueued;
     ev->scheduled_ = false;
     --live_count_;
 }
@@ -81,66 +200,113 @@ EventQueue::reschedule(Event *ev, Tick when)
 }
 
 void
-EventQueue::skipDead()
+EventQueue::releaseOneShot(Event *ev)
 {
-    while (!queue_.empty()) {
-        const auto it = dead_seqs_.find(queue_.top().seq);
-        if (it == dead_seqs_.end())
-            return;
-        dead_seqs_.erase(it);
-        queue_.pop();
-    }
+    if (ev->pooled_)
+        pool_.release(static_cast<PoolEvent *>(ev));
+    else
+        delete ev;
 }
 
-bool
-EventQueue::empty() const
+void
+EventQueue::fire(Event *ev)
 {
-    return live_count_ == 0;
+    ev->scheduled_ = false;
+    --live_count_;
+    ++num_processed_;
+    if (ev->selfDeleting()) {
+        // Reclaim the event even when process() throws (a fatal() on
+        // an error path propagates through here).
+        try {
+            ev->process();
+        } catch (...) {
+            if (!ev->scheduled_)
+                releaseOneShot(ev);
+            throw;
+        }
+        if (!ev->scheduled_)
+            releaseOneShot(ev);
+    } else {
+        ev->process();
+    }
 }
 
 bool
 EventQueue::step()
 {
-    skipDead();
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    Entry entry = queue_.top();
-    queue_.pop();
-    --live_count_;
+    const Entry entry = popTop();
     cur_tick_ = entry.when;
-    Event *ev = entry.ev;
-    ev->scheduled_ = false;
-    ++num_processed_;
-    if (ev->selfDeleting()) {
-        // Free the event even when process() throws (a fatal() on an
-        // error path propagates through here).
-        try {
-            ev->process();
-        } catch (...) {
-            if (!ev->scheduled_)
-                delete ev;
-            throw;
-        }
-        if (!ev->scheduled_)
-            delete ev;
-    } else {
-        ev->process();
-    }
+    fire(entry.ev);
     return true;
+}
+
+void
+EventQueue::dispatchBatch()
+{
+    // Pop the whole run of events sharing the head's (tick,
+    // priority): the common "N chunk completions at one tick" case
+    // pays one head examination per event instead of a full
+    // pop/push cycle interleaved with other keys.
+    const Tick when = heap_.front().when;
+    const int priority = heap_.front().priority;
+    cur_tick_ = when;
+    batch_.clear();
+    do {
+        Entry e = popTop();
+        e.ev->heap_index_ = Event::batchFlag | batch_.size();
+        batch_.push_back(e);
+    } while (!heap_.empty() && heap_.front().when == when &&
+             heap_.front().priority == priority);
+
+    std::size_t i = 0;
+    try {
+        for (; i < batch_.size(); ++i) {
+            Event *ev = batch_[i].ev;
+            if (!ev)
+                continue;       // descheduled by an earlier batch member
+            ev->heap_index_ = Event::notQueued;
+            fire(ev);
+            // A fired event may have scheduled something that orders
+            // before the rest of the batch (same tick, stricter
+            // priority). Splice the unfired tail back so the global
+            // (tick, priority, seq) order is preserved exactly.
+            if (i + 1 < batch_.size() && !heap_.empty() &&
+                entryLess(heap_.front(), batch_[i + 1])) {
+                for (std::size_t j = i + 1; j < batch_.size(); ++j) {
+                    if (batch_[j].ev)
+                        pushEntry(batch_[j]);
+                }
+                batch_.clear();
+                return;
+            }
+        }
+    } catch (...) {
+        // Restore the unfired tail so destructor semantics (reclaim
+        // pending one-shots) and any continued use see a consistent
+        // queue.
+        for (std::size_t j = i + 1; j < batch_.size(); ++j) {
+            if (batch_[j].ev)
+                pushEntry(batch_[j]);
+        }
+        batch_.clear();
+        throw;
+    }
+    batch_.clear();
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
     for (;;) {
-        skipDead();
-        if (queue_.empty())
+        if (heap_.empty())
             return cur_tick_;
-        if (queue_.top().when > limit) {
+        if (heap_.front().when > limit) {
             cur_tick_ = limit;
             return cur_tick_;
         }
-        step();
+        dispatchBatch();
     }
 }
 

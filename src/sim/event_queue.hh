@@ -5,19 +5,36 @@
  * The EventQueue orders Event objects by (tick, priority, insertion
  * sequence) so simulations are fully deterministic. Events are owned
  * by their creators; the queue never deletes them. Callback-style
- * events (LambdaEvent) are provided for one-shot work and can be
- * self-deleting: those the queue frees after they fire, when their
- * process() throws, or — if they never fire — when the queue itself
- * is destroyed.
+ * one-shot events are provided for fire-and-forget work and are
+ * reclaimed by the queue after they fire, when their process()
+ * throws, or — if they never fire — when the queue itself is
+ * destroyed.
+ *
+ * Hot-path design (DESIGN.md §11):
+ *  - an indexed binary heap: each scheduled Event carries its heap
+ *    slot, so deschedule()/reschedule() remove the entry in O(log n)
+ *    with no tombstones and no dead-entry skip loop;
+ *  - a slab/free-list EventPool for one-shot callbacks: the
+ *    scheduleCallback() fast path constructs the callable inline in
+ *    a recycled fixed-size slot, so steady-state one-shot scheduling
+ *    performs no heap allocation (scheduleLambda() routes its
+ *    std::function through the same pool);
+ *  - batched dispatch: run() pops a run of same-(tick, priority)
+ *    events at once and fires them back-to-back, splicing the rest
+ *    back if an event schedules ahead of the batch (so the
+ *    (tick, priority, seq) total order is preserved exactly).
  */
 
 #ifndef EHPSIM_SIM_EVENT_QUEUE_HH
 #define EHPSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -26,6 +43,7 @@ namespace ehpsim
 {
 
 class EventQueue;
+class EventPool;
 
 /**
  * Base class for anything schedulable on an EventQueue.
@@ -51,8 +69,8 @@ class Event
     virtual void process() = 0;
 
     /**
-     * If true, the queue deletes the event after process() returns
-     * (only valid for heap-allocated events).
+     * If true, the queue reclaims the event after process() returns
+     * (only valid for queue-owned events: heap-allocated or pooled).
      */
     virtual bool selfDeleting() const { return false; }
 
@@ -64,11 +82,25 @@ class Event
 
   private:
     friend class EventQueue;
+    friend class EventPool;
+    friend class PoolEvent;
+
+    /** heap_index_ value for an event that is not queued. */
+    static constexpr std::size_t notQueued =
+        static_cast<std::size_t>(-1);
+    /** High bit marks "in the dispatch batch, at slot (idx & ~flag)". */
+    static constexpr std::size_t batchFlag =
+        ~(~static_cast<std::size_t>(0) >> 1);
 
     int priority_;
     bool scheduled_ = false;
+    /** True for pool-backed one-shots: reclaim to the pool, never
+     *  delete. */
+    bool pooled_ = false;
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
+    /** Slot in the queue's heap (or batch) while scheduled. */
+    std::size_t heap_index_ = notQueued;
 };
 
 /** One-shot heap-allocated event wrapping a callable. */
@@ -88,6 +120,65 @@ class LambdaEvent : public Event
     std::function<void()> fn_;
 };
 
+/** Bytes of inline callable storage in a pooled one-shot event. */
+constexpr std::size_t inlineCallbackBytes = 48;
+
+/**
+ * A pooled one-shot callback event. The callable lives inline in
+ * store_; invoke_/destroy_ are the type-erased entry points the
+ * scheduleCallback() fast path installs. Only the EventQueue and its
+ * pool create, fire, and recycle these.
+ */
+class PoolEvent final : public Event
+{
+  public:
+    PoolEvent() { pooled_ = true; }
+
+    void process() override { invoke_(store_); }
+
+    bool selfDeleting() const override { return true; }
+
+  private:
+    friend class EventQueue;
+    friend class EventPool;
+
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    PoolEvent *next_free_ = nullptr;
+    alignas(std::max_align_t) unsigned char store_[inlineCallbackBytes];
+};
+
+/**
+ * Slab allocator + free list for PoolEvents. Slabs are allocated in
+ * fixed-size blocks, never returned to the OS until the pool dies,
+ * so steady-state acquire/release touches no allocator.
+ */
+class EventPool
+{
+  public:
+    EventPool() = default;
+
+    EventPool(const EventPool &) = delete;
+    EventPool &operator=(const EventPool &) = delete;
+
+    /** A recycled (or freshly slab-allocated) event. The callable
+     *  slots (invoke_/destroy_) are unset; the caller installs them. */
+    PoolEvent *acquire();
+
+    /** Destroy the inline callable and return the slot to the free
+     *  list. The event must not be scheduled. */
+    void release(PoolEvent *ev);
+
+    /** Total one-shot slots backed by slabs (free or in flight). */
+    std::size_t capacity() const { return slabs_.size() * slabSize; }
+
+  private:
+    static constexpr std::size_t slabSize = 256;
+
+    std::vector<std::unique_ptr<PoolEvent[]>> slabs_;
+    PoolEvent *free_ = nullptr;
+};
+
 /**
  * A deterministic discrete-event queue.
  */
@@ -96,7 +187,7 @@ class EventQueue
   public:
     EventQueue() = default;
 
-    /** Frees any still-pending self-deleting events. */
+    /** Reclaims any still-pending self-deleting events. */
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -108,13 +199,52 @@ class EventQueue
     /** Schedule @p ev to fire at absolute tick @p when (>= curTick). */
     void schedule(Event *ev, Tick when);
 
-    /** Convenience: schedule a one-shot callback at @p when. */
+    /**
+     * Fast path for one-shot callbacks: when the callable fits the
+     * pool's inline storage it is constructed in a recycled slot and
+     * the schedule performs no heap allocation; oversized callables
+     * fall back to a heap-allocated LambdaEvent. Either way the
+     * event is queue-owned and reclaimed after it fires.
+     */
+    template <typename F>
+    void
+    scheduleCallback(Tick when, F &&fn,
+                     int priority = Event::defaultPriority)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineCallbackBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_constructible_v<Fn, F &&>) {
+            PoolEvent *ev = pool_.acquire();
+            ::new (static_cast<void *>(ev->store_))
+                Fn(std::forward<F>(fn));
+            ev->invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            ev->destroy_ = [](void *p) {
+                static_cast<Fn *>(p)->~Fn();
+            };
+            ev->priority_ = priority;
+            schedule(ev, when);
+        } else {
+            schedule(new LambdaEvent(
+                         std::function<void()>(std::forward<F>(fn)),
+                         priority),
+                     when);
+        }
+    }
+
+    /**
+     * Convenience: schedule a one-shot callback at @p when. The
+     * std::function is moved into the pool, so this shares the
+     * allocation-free steady state of scheduleCallback(); prefer
+     * scheduleCallback() in hot paths to also skip the function's
+     * own capture allocation.
+     */
     void scheduleLambda(Tick when, std::function<void()> fn,
                         int priority = Event::defaultPriority);
 
     /**
      * Remove a scheduled event from the queue. Self-deleting events
-     * are rejected: the queue only deletes events it processes, so
+     * are rejected: the queue only reclaims events it processes, so
      * descheduling one would leak it (use reschedule(), or let it
      * fire). After descheduling, the owner may immediately delete
      * the event; the queue never touches its memory again.
@@ -129,10 +259,26 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /** True when no events remain. */
-    bool empty() const;
+    bool empty() const { return live_count_ == 0; }
 
     /** Number of pending (non-descheduled) events. */
     std::size_t size() const { return live_count_; }
+
+    /**
+     * Pre-size the scheduling heap for a known fan-out (e.g. ring
+     * size x chunk count) so bursts of schedule() calls never grow
+     * it incrementally.
+     */
+    void reserve(std::size_t n) { heap_.reserve(n); }
+
+    /** Scheduling-heap slots currently allocated. */
+    std::size_t capacity() const { return heap_.capacity(); }
+
+    /** One-shot pool slots currently allocated (slab-backed). */
+    std::size_t poolCapacity() const { return pool_.capacity(); }
+
+    /** High-water mark of simultaneously scheduled events. */
+    std::size_t peakLive() const { return peak_live_; }
 
     /**
      * Run events until the queue drains or @p limit is reached.
@@ -153,39 +299,55 @@ class EventQueue
         int priority;
         std::uint64_t seq;
         Event *ev;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            if (priority != o.priority)
-                return priority > o.priority;
-            return seq > o.seq;
-        }
     };
 
-    /** Mark @p ev's current queue entry dead without touching it. */
+    /** The (tick, priority, seq) total order. */
+    static bool
+    entryLess(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    /** @{ indexed-heap primitives; every move updates the owning
+     *  event's heap_index_. Sifts return the entry's final slot. */
+    std::size_t siftUp(std::size_t i);
+    std::size_t siftDown(std::size_t i);
+    void pushEntry(Entry e);
+    Entry popTop();
+    void removeAt(std::size_t i);
+    /** @} */
+
+    /** Remove @p ev's queue (or batch) entry; never touches the
+     *  event afterwards. */
     void killEntry(Event *ev);
 
-    /** Pop entries until the head is a live (still-scheduled) event. */
-    void skipDead();
+    /** Process one event, reclaiming queue-owned ones — also on the
+     *  throwing-process() path. */
+    void fire(Event *ev);
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        queue_;
+    /** Reclaim a queue-owned (self-deleting) event. */
+    void releaseOneShot(Event *ev);
 
-    /**
-     * Sequence numbers of entries whose events were descheduled or
-     * rescheduled. skipDead()/step() consult only this set, never
-     * the (possibly already freed) Event, so owners may delete an
-     * event as soon as it is descheduled.
-     */
-    std::unordered_set<std::uint64_t> dead_seqs_;
+    /** Pop and fire the run of events sharing the head's
+     *  (tick, priority); splices the tail back if a fired event
+     *  schedules ahead of it. */
+    void dispatchBatch();
+
+    std::vector<Entry> heap_;
+    /** Same-(tick, priority) run currently being dispatched. A
+     *  descheduled member's slot is nulled via Event::batchFlag. */
+    std::vector<Entry> batch_;
+    EventPool pool_;
 
     Tick cur_tick_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t num_processed_ = 0;
     std::size_t live_count_ = 0;
+    std::size_t peak_live_ = 0;
 };
 
 } // namespace ehpsim

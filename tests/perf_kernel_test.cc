@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shape and determinism checks for the kernel microbenchmark's JSON
+ * output (bench/perf_kernel.cc).
+ *
+ * The bench measures wall time, which is inherently run-dependent, so
+ * the contract is split: every value under a benchmark's
+ * "deterministic" object must be byte-identical across runs, while
+ * wall-dependent values may only ever appear under "wall". The test
+ * runs the bench twice in quick mode and diffs the documents with the
+ * wall-valued lines stripped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Keys whose values depend on wall time, never on the simulation. */
+const char *const wallKeys[] = {
+    "best_seconds",
+    "events_per_sec",
+    "ops_per_sec",
+};
+
+std::string
+runQuick(const std::string &json_path)
+{
+    const std::string cmd = std::string(EHPSIM_PERF_KERNEL_BIN) +
+                            " --quick --repeat 1 --json " + json_path +
+                            " > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0) << "perf_kernel failed: " << cmd;
+    std::ifstream in(json_path);
+    EXPECT_TRUE(in.good()) << "missing " << json_path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** The document's lines with wall-valued ones removed. */
+std::vector<std::string>
+deterministicLines(const std::string &doc)
+{
+    std::vector<std::string> out;
+    std::istringstream in(doc);
+    std::string line;
+    while (std::getline(in, line)) {
+        bool wall = false;
+        for (const char *key : wallKeys) {
+            if (line.find(key) != std::string::npos) {
+                wall = true;
+                break;
+            }
+        }
+        if (!wall)
+            out.push_back(line);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(PerfKernel, QuickJsonHasSchemaAndBenchmarks)
+{
+    const std::string doc = runQuick("perf_kernel_shape.json");
+    EXPECT_NE(doc.find("\"schema\": \"ehpsim-bench-kernel-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"quick\": true"), std::string::npos);
+    for (const char *name :
+         {"schedule_churn", "oneshot_storm", "oneshot_storm_pooled",
+          "comm_allreduce_octo", "fault_storm"}) {
+        EXPECT_NE(doc.find(std::string("\"name\": \"") + name + "\""),
+                  std::string::npos)
+            << "missing benchmark " << name;
+    }
+    // Every benchmark carries both sections, and the wall keys exist
+    // (under "wall" only — determinism of the rest is checked below).
+    EXPECT_NE(doc.find("\"deterministic\""), std::string::npos);
+    EXPECT_NE(doc.find("\"wall\""), std::string::npos);
+    for (const char *key : wallKeys)
+        EXPECT_NE(doc.find(key), std::string::npos);
+}
+
+TEST(PerfKernel, QuickJsonDeterministicModuloWall)
+{
+    const std::string a = runQuick("perf_kernel_det_a.json");
+    const std::string b = runQuick("perf_kernel_det_b.json");
+    EXPECT_EQ(deterministicLines(a), deterministicLines(b))
+        << "benchmark JSON differs beyond the wall-valued fields";
+}

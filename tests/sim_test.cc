@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -33,6 +38,26 @@ class RecordingEvent : public Event
 
   private:
     std::vector<int> *log_;
+    int id_;
+};
+
+/** Appends "id@tick " to a trace string when fired. */
+class TraceEvent : public Event
+{
+  public:
+    TraceEvent(std::string *out, int id,
+               int priority = Event::defaultPriority)
+        : Event(priority), out_(out), id_(id)
+    {}
+
+    void process() override
+    {
+        *out_ += std::to_string(id_) + "@" +
+                 std::to_string(when()) + " ";
+    }
+
+  private:
+    std::string *out_;
     int id_;
 };
 
@@ -212,6 +237,246 @@ TEST(EventQueue, SchedulingInPastPanics)
     std::vector<int> log;
     RecordingEvent a(&log, 1);
     EXPECT_DEATH(eq.schedule(&a, 50), "past");
+}
+
+TEST(EventQueue, GoldenTraceMatchesPreRewriteKernel)
+{
+    // A mixed scheduling script (overlapping ticks, all priority
+    // bands, reschedules, deschedules, same-tick cross-scheduling, a
+    // partial run with late arrivals) whose firing order was captured
+    // verbatim from the PR 4 tombstone-based kernel. The indexed-heap
+    // kernel must reproduce it exactly: the (tick, priority, seq)
+    // total order — including that reschedule() consumes a fresh
+    // sequence number per call — is the byte-determinism contract
+    // every sweep JSON depends on.
+    EventQueue eq;
+    std::string trace;
+    const int prios[] = {Event::maximumPriority, 30,
+                         Event::defaultPriority, 70,
+                         Event::minimumPriority};
+    std::vector<TraceEvent> evs;
+    evs.reserve(40);
+    for (int i = 0; i < 40; ++i)
+        evs.emplace_back(&trace, i, prios[i % 5]);
+
+    // Phase 1: schedule everyone on overlapping ticks.
+    for (int i = 0; i < 40; ++i)
+        eq.schedule(&evs[i], (i * 37) % 50);
+    // Reschedule a third (consumes fresh seqs).
+    for (int i = 0; i < 40; i += 3)
+        eq.reschedule(&evs[i], (i * 17) % 60);
+    // Deschedule a fifth.
+    for (int i = 1; i < 40; i += 5)
+        eq.deschedule(&evs[i]);
+
+    // Same-tick cross-scheduling: a default-priority callback at
+    // tick 10 schedules a *higher*-priority event at its own tick,
+    // another deschedules a pending victim, a third reschedules one.
+    TraceEvent inject(&trace, 100, Event::maximumPriority);
+    eq.scheduleLambda(10, [&] { eq.schedule(&inject, 10); });
+    eq.scheduleLambda(10, [&] {
+        if (evs[22].scheduled())
+            eq.deschedule(&evs[22]);
+    });
+    eq.scheduleLambda(10, [&] {
+        if (evs[25].scheduled())
+            eq.reschedule(&evs[25], 55);
+    });
+
+    // Self-deleting reschedule: fires once, at the final time.
+    auto *moved = new LambdaEvent([&] { trace += "L@moved "; });
+    eq.schedule(moved, 20);
+    eq.reschedule(moved, 45);
+
+    // Partial run, then more work lands mid-stream.
+    eq.run(30);
+    TraceEvent late(&trace, 200, 30);
+    eq.schedule(&late, 31);
+    for (int i = 1; i < 40; i += 5)
+        eq.schedule(&evs[i], 58);   // revive the descheduled ones
+    eq.run();
+
+    trace += "| processed=" + std::to_string(eq.numProcessed()) +
+             " final=" + std::to_string(eq.curTick());
+    EXPECT_EQ(trace,
+              "0@0 23@1 19@3 39@3 38@6 18@6 34@8 7@9 100@10 15@15 "
+              "14@18 37@19 10@20 33@21 29@23 2@24 12@24 17@29 30@30 "
+              "200@31 13@31 9@33 32@34 5@35 28@36 27@39 20@40 35@45 "
+              "L@moved 8@46 4@48 24@48 3@51 25@55 1@58 6@58 11@58 "
+              "16@58 21@58 26@58 31@58 36@58 | processed=45 final=58");
+}
+
+TEST(EventQueue, PooledCallableDestroyedAfterFiring)
+{
+    // The pool recycles the event's storage, but the captured state
+    // must be released the moment the callback has fired — exactly
+    // when deleting a LambdaEvent would have released it.
+    EventQueue eq;
+    auto token = std::make_shared<int>(1);
+    eq.scheduleCallback(10, [token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    eq.run();
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, DestructorReclaimsPendingOneShots)
+{
+    // One-shots that never fire are reclaimed — callable destructors
+    // run — when the queue dies, for both pooled and heap-allocated
+    // events (ASan would flag the leak otherwise).
+    auto token = std::make_shared<int>(7);
+    {
+        EventQueue eq;
+        eq.scheduleCallback(100, [token] {});
+        eq.scheduleLambda(200, [token] {});
+        EXPECT_EQ(token.use_count(), 3);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, PoolCapacityBoundedAcrossWaves)
+{
+    // Steady-state one-shot churn must recycle slots, not grow the
+    // pool: 100 waves of 200 concurrent callbacks fit in a single
+    // 256-slot slab forever.
+    EventQueue eq;
+    int fired = 0;
+    for (int wave = 0; wave < 100; ++wave) {
+        const Tick base = eq.curTick() + 1;
+        for (int i = 0; i < 200; ++i)
+            eq.scheduleCallback(base + i, [&fired] { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 20000);
+    EXPECT_EQ(eq.poolCapacity(), 256u);
+}
+
+TEST(EventQueue, OversizedCallableFallsBackToHeap)
+{
+    // Captures larger than the pool's inline storage still work;
+    // they take the heap-allocated LambdaEvent path and never touch
+    // the pool.
+    EventQueue eq;
+    std::array<std::uint64_t, 9> payload{};
+    static_assert(sizeof(payload) > inlineCallbackBytes);
+    payload[8] = 42;
+    std::uint64_t seen = 0;
+    eq.scheduleCallback(10, [payload, &seen] { seen = payload[8]; });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(eq.poolCapacity(), 0u);
+}
+
+TEST(EventQueue, BatchMemberSchedulingHigherPrioritySameTick)
+{
+    // Batched dispatch pops the whole same-(tick, priority) run at
+    // once. If a fired member schedules something that orders before
+    // the rest of the batch, the unfired tail is spliced back so the
+    // injected event runs in its correct slot.
+    EventQueue eq;
+    std::vector<int> log;
+    eq.scheduleCallback(10, [&] {
+        log.push_back(1);
+        eq.scheduleCallback(10, [&] { log.push_back(99); },
+                            Event::maximumPriority);
+    });
+    eq.scheduleCallback(10, [&] { log.push_back(2); });
+    eq.scheduleCallback(10, [&] { log.push_back(3); });
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 99, 2, 3}));
+}
+
+TEST(EventQueue, MidBatchDescheduleRemovesPoppedMember)
+{
+    // Descheduling an event that has already been popped into the
+    // in-flight batch must still take effect (and the owner may free
+    // the event immediately afterwards).
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent victim(&log, 3);
+    eq.scheduleCallback(10, [&] {
+        log.push_back(1);
+        eq.deschedule(&victim);
+    });
+    eq.schedule(&victim, 10);
+    eq.scheduleCallback(10, [&] { log.push_back(2); });
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(victim.scheduled());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, MidBatchRescheduleMovesPoppedMember)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent victim(&log, 3);
+    eq.scheduleCallback(10, [&] {
+        log.push_back(1);
+        eq.reschedule(&victim, 20);
+    });
+    eq.schedule(&victim, 10);
+    eq.scheduleCallback(10, [&] { log.push_back(2); });
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 20u);
+}
+
+TEST(EventQueue, ThrowingBatchMemberRestoresTail)
+{
+    // A process() that throws mid-batch (fatal() on an error path)
+    // must reclaim the throwing one-shot and put the unfired tail
+    // back on the heap: nothing leaks, original order resumes.
+    EventQueue eq;
+    std::vector<int> log;
+    eq.scheduleCallback(10, [&] { log.push_back(1); });
+    eq.scheduleCallback(10, [] { fatal("mid-batch failure"); });
+    eq.scheduleCallback(10, [&] { log.push_back(3); });
+    eq.scheduleCallback(20, [&] { log.push_back(4); });
+    EXPECT_THROW(eq.run(), std::runtime_error);
+    EXPECT_EQ(eq.size(), 2u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 3, 4}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleHeavyChurnKeepsHeapBounded)
+{
+    // The tombstone queue left a dead entry per deschedule and leaned
+    // on periodic compaction; the indexed heap removes entries in
+    // place, so heavy schedule/deschedule churn cannot grow the heap
+    // past the live high-water mark.
+    EventQueue eq;
+    std::vector<int> log;
+    std::vector<RecordingEvent> evs;
+    evs.reserve(64);
+    for (int i = 0; i < 64; ++i)
+        evs.emplace_back(&log, i);
+    for (int round = 0; round < 1000; ++round) {
+        const Tick base = eq.curTick() + 1;
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(&evs[i], base + i % 7);
+        for (int i = 0; i < 64; ++i)
+            eq.deschedule(&evs[i]);
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(eq.peakLive(), 64u);
+    EXPECT_LE(eq.capacity(), 128u);
+}
+
+TEST(EventQueue, ReservePresizesHeap)
+{
+    EventQueue eq;
+    eq.reserve(1000);
+    EXPECT_GE(eq.capacity(), 1000u);
+    const std::size_t cap = eq.capacity();
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+        eq.scheduleCallback(1 + i, [&fired] { ++fired; });
+    EXPECT_EQ(eq.capacity(), cap);  // burst fits: no regrowth
+    eq.run();
+    EXPECT_EQ(fired, 1000);
 }
 
 TEST(Rng, DeterministicFromSeed)

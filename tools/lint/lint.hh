@@ -13,6 +13,9 @@
  *   unordered-iter  no iteration over std::unordered_map/_set
  *   event-new       events go through EventQueue factory paths, not
  *                   raw new/delete (the PR 1 use-after-free class)
+ *   event-alloc     one-shot callbacks in hot paths use the pooled
+ *                   scheduleCallback(), not an allocating
+ *                   new LambdaEvent / scheduleLambda(capturing)
  *   dup-stat        a stat name registers at most once per group
  *   float-arith     no float in simulation arithmetic (use double)
  *
@@ -53,6 +56,7 @@ enum class Rule
     rawRand,
     unorderedIter,
     eventNew,
+    eventAlloc,
     dupStat,
     floatArith,
 };
