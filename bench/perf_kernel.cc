@@ -402,6 +402,7 @@ main(int argc, char **argv)
     bool quick = false;
     unsigned repeat = 3;
     std::string json_path;
+    std::string only;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -411,10 +412,12 @@ main(int argc, char **argv)
         } else if (arg == "--repeat" && i + 1 < argc) {
             repeat = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--only" && i + 1 < argc) {
+            only = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: perf_kernel [--quick] [--json FILE] "
-                         "[--repeat N]\n");
+                         "[--repeat N] [--only NAME]\n");
             return 2;
         }
     }
@@ -422,12 +425,28 @@ main(int argc, char **argv)
         repeat = 1;
 
     const Sizes sz = sizesFor(quick);
+    using BenchFn = BenchResult (*)(const Sizes &, unsigned);
+    const struct
+    {
+        const char *name;
+        BenchFn fn;
+    } benches[] = {
+        {"schedule_churn", benchScheduleChurn},
+        {"oneshot_storm", benchOneshotStorm},
+        {"oneshot_storm_pooled", benchOneshotStormPooled},
+        {"comm_allreduce_octo", benchCommAllReduce},
+        {"fault_storm", benchFaultStorm},
+    };
     std::vector<BenchResult> results;
-    results.push_back(benchScheduleChurn(sz, repeat));
-    results.push_back(benchOneshotStorm(sz, repeat));
-    results.push_back(benchOneshotStormPooled(sz, repeat));
-    results.push_back(benchCommAllReduce(sz, repeat));
-    results.push_back(benchFaultStorm(sz, repeat));
+    for (const auto &b : benches) {
+        if (only.empty() || only == b.name)
+            results.push_back(b.fn(sz, repeat));
+    }
+    if (results.empty()) {
+        std::fprintf(stderr, "perf_kernel: no benchmark named '%s'\n",
+                     only.c_str());
+        return 2;
+    }
 
     for (const auto &r : results) {
         std::printf("[kernel_bench] %s: %.3f s best, %.3g events/s, "

@@ -122,18 +122,24 @@ CommGroup::CommGroup(SimObject *parent, const std::string &name,
                       net_->nodeName(ranks_[i]), "'");
         }
     }
-    // Collect every directed link any rank pair routes over, in a
-    // deterministic first-encounter order. Fully-connected groups
+    // Resolve every rank pair's route to Link pointers once, up
+    // front, and collect every directed link any pair routes over in
+    // a deterministic first-encounter order. Fully-connected groups
     // use exactly one link per ordered pair; multi-hop routes can
-    // only share links, so this is an upper bound.
+    // only share links, so this is an upper bound. The cached
+    // LinkRoute pointers are what runTask() replays per chunk;
+    // routeFor() re-resolves them if the fabric reroutes.
+    pair_routes_.assign(ranks_.size() * ranks_.size(), nullptr);
+    route_epoch_ = net_->routeEpoch();
     links_.reserve(ranks_.size() * (ranks_.size() - 1));
     for (std::size_t i = 0; i < ranks_.size(); ++i) {
         for (std::size_t j = 0; j < ranks_.size(); ++j) {
             if (i == j)
                 continue;
-            const auto &path = net_->path(ranks_[i], ranks_[j]);
-            for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-                fabric::Link *l = net_->link(path[h], path[h + 1]);
+            const fabric::LinkRoute &r =
+                net_->linkRoute(ranks_[i], ranks_[j]);
+            pair_routes_[i * ranks_.size() + j] = &r;
+            for (fabric::Link *l : r.links) {
                 if (std::find(links_.begin(), links_.end(), l) ==
                     links_.end()) {
                     links_.push_back(l);
@@ -173,25 +179,31 @@ CommGroup::choose(Collective coll, std::uint64_t bytes) const
     return fullyConnected() ? Algorithm::direct : Algorithm::ring;
 }
 
-std::vector<std::uint64_t>
-CommGroup::splitEven(std::uint64_t bytes, unsigned parts)
+CommGroup::ChunkSpan
+CommGroup::chunkSpanOf(std::uint64_t bytes) const
 {
-    std::vector<std::uint64_t> out(parts, bytes / parts);
-    for (std::uint64_t i = 0; i < bytes % parts; ++i)
-        ++out[i];
-    return out;
+    if (bytes == 0)
+        return {};
+    const std::uint64_t cb = params_.chunk_bytes;
+    const std::uint64_t count = (bytes + cb - 1) / cb;
+    return {count, bytes - (count - 1) * cb};
 }
 
-std::vector<std::uint64_t>
-CommGroup::chunksOf(std::uint64_t bytes) const
+std::uint64_t
+CommGroup::chunkCount(std::uint64_t bytes) const
 {
-    std::vector<std::uint64_t> out;
-    while (bytes > 0) {
-        const std::uint64_t c = std::min(bytes, params_.chunk_bytes);
-        out.push_back(c);
-        bytes -= c;
-    }
-    return out;
+    return bytes == 0 ? std::uint64_t{0}
+                      : (bytes + params_.chunk_bytes - 1) /
+                            params_.chunk_bytes;
+}
+
+std::uint64_t
+CommGroup::shardedChunkCount(std::uint64_t bytes) const
+{
+    const unsigned n = numRanks();
+    const std::uint64_t q = bytes / n;
+    const std::uint64_t rem = bytes % n;
+    return rem * chunkCount(q + 1) + (n - rem) * chunkCount(q);
 }
 
 std::uint64_t
@@ -200,11 +212,6 @@ CommGroup::taskCount(Collective kind, std::uint64_t bytes) const
     const unsigned n = numRanks();
     if (n < 2 || bytes == 0)
         return 0;
-    const auto chunks = [this](std::uint64_t b) {
-        return b == 0 ? std::uint64_t{0}
-                      : (b + params_.chunk_bytes - 1) /
-                            params_.chunk_bytes;
-    };
     switch (kind) {
       case Collective::allReduce:
       case Collective::allGather:
@@ -214,18 +221,15 @@ CommGroup::taskCount(Collective kind, std::uint64_t bytes) const
         // per chunk of each shard.
         const std::uint64_t steps =
             kind == Collective::allReduce ? 2 * (n - 1) : n - 1;
-        std::uint64_t total = 0;
-        for (std::uint64_t s : splitEven(bytes, n))
-            total += steps * chunks(s);
-        return total;
+        return steps * shardedChunkCount(bytes);
       }
       case Collective::broadcast:
-        return static_cast<std::uint64_t>(n - 1) * chunks(bytes);
+        return static_cast<std::uint64_t>(n - 1) * chunkCount(bytes);
       case Collective::allToAll:
         return static_cast<std::uint64_t>(n) * (n - 1) *
-               chunks(bytes);
+               chunkCount(bytes);
       case Collective::sendRecv:
-        return chunks(bytes);
+        return chunkCount(bytes);
     }
     panic("bad collective kind");
 }
@@ -233,18 +237,61 @@ CommGroup::taskCount(Collective kind, std::uint64_t bytes) const
 std::uint32_t
 CommGroup::addTask(CollectiveOp &op, unsigned src_rank,
                    unsigned dst_rank, std::uint64_t bytes,
-                   const std::vector<std::uint32_t> &deps)
+                   const std::uint32_t *deps, std::uint32_t ndeps)
 {
     const auto idx = static_cast<std::uint32_t>(op.tasks_.size());
     CollectiveOp::Task t;
     t.src = ranks_[src_rank];
     t.dst = ranks_[dst_rank];
     t.bytes = bytes;
-    t.deps = static_cast<unsigned>(deps.size());
-    op.tasks_.push_back(std::move(t));
-    for (std::uint32_t d : deps)
-        op.tasks_[d].dependents.push_back(idx);
+    t.deps = ndeps;
+    t.route_slot = src_rank * numRanks() + dst_rank;
+    op.tasks_.push_back(t);
+    for (std::uint32_t k = 0; k < ndeps; ++k)
+        edge_scratch_.emplace_back(deps[k], idx);
     return idx;
+}
+
+void
+CommGroup::finalizeDag(CollectiveOp &op)
+{
+    op.dag_.clear();
+    op.dag_.resize(edge_scratch_.size());
+    for (const auto &e : edge_scratch_)
+        ++op.tasks_[e.first].dep_cnt;
+    std::uint32_t off = 0;
+    for (auto &t : op.tasks_) {
+        t.dep_off = off;
+        off += t.dep_cnt;
+        t.dep_cnt = 0;      // becomes the fill cursor below
+    }
+    // Stable fill: edges were recorded in addTask order, so each
+    // task's dependents land in the same order the old per-Task
+    // vectors held them.
+    for (const auto &[from, to] : edge_scratch_) {
+        CollectiveOp::Task &src = op.tasks_[from];
+        op.dag_[src.dep_off + src.dep_cnt++] = to;
+    }
+    edge_scratch_.clear();
+}
+
+const fabric::LinkRoute &
+CommGroup::routeFor(std::uint32_t slot)
+{
+    // A topology mutation (killLink and friends) destroys the
+    // network's LinkRoute storage, so every cached pointer is stale
+    // the moment the epoch moves — drop them all and re-resolve on
+    // demand, which also recomputes paths around dead links.
+    if (route_epoch_ != net_->routeEpoch()) {
+        std::fill(pair_routes_.begin(), pair_routes_.end(), nullptr);
+        route_epoch_ = net_->routeEpoch();
+    }
+    const fabric::LinkRoute *&r = pair_routes_[slot];
+    if (!r) {
+        const unsigned n = numRanks();
+        r = &net_->linkRoute(ranks_[slot / n], ranks_[slot % n]);
+    }
+    return *r;
 }
 
 void
@@ -255,6 +302,7 @@ CommGroup::buildRing(CollectiveOp &op, std::uint64_t bytes,
     if (n < 2 || bytes == 0)
         return;
     op.tasks_.reserve(op.tasks_.size() + taskCount(op.kind_, bytes));
+    const std::uint64_t cb = params_.chunk_bytes;
 
     switch (op.kind_) {
       case Collective::allReduce:
@@ -266,14 +314,24 @@ CommGroup::buildRing(CollectiveOp &op, std::uint64_t bytes,
         const unsigned steps = op.kind_ == Collective::allReduce
                                    ? 2 * (n - 1)
                                    : n - 1;
-        const auto shards = splitEven(bytes, n);
+        // Each chunk is a chain of `steps` tasks: steps - 1 edges.
+        edge_scratch_.reserve(
+            (steps - 1) * shardedChunkCount(bytes));
+        const std::uint64_t q = bytes / n;
+        const std::uint64_t rem = bytes % n;
         for (unsigned s = 0; s < n; ++s) {
-            for (std::uint64_t c : chunksOf(shards[s])) {
-                std::vector<std::uint32_t> prev;
+            const std::uint64_t shard = q + (s < rem ? 1 : 0);
+            const ChunkSpan span = chunkSpanOf(shard);
+            for (std::uint64_t k = 0; k < span.count; ++k) {
+                const std::uint64_t c =
+                    k + 1 == span.count ? span.last : cb;
+                std::uint32_t prev = 0;
                 for (unsigned i = 0; i < steps; ++i) {
                     const unsigned src = (s + i) % n;
                     const unsigned dst = (s + i + 1) % n;
-                    prev = {addTask(op, src, dst, c, prev)};
+                    prev = addTask(op, src, dst, c,
+                                   i == 0 ? nullptr : &prev,
+                                   i == 0 ? 0 : 1);
                 }
             }
         }
@@ -281,12 +339,19 @@ CommGroup::buildRing(CollectiveOp &op, std::uint64_t bytes,
       }
       case Collective::broadcast: {
         // Chunks pipeline from the root around the ring.
-        for (std::uint64_t c : chunksOf(bytes)) {
-            std::vector<std::uint32_t> prev;
+        const ChunkSpan span = chunkSpanOf(bytes);
+        if (n > 2)
+            edge_scratch_.reserve((n - 2) * span.count);
+        for (std::uint64_t k = 0; k < span.count; ++k) {
+            const std::uint64_t c =
+                k + 1 == span.count ? span.last : cb;
+            std::uint32_t prev = 0;
             for (unsigned i = 0; i + 1 < n; ++i) {
                 const unsigned src = (root + i) % n;
                 const unsigned dst = (root + i + 1) % n;
-                prev = {addTask(op, src, dst, c, prev)};
+                prev = addTask(op, src, dst, c,
+                               i == 0 ? nullptr : &prev,
+                               i == 0 ? 0 : 1);
             }
         }
         break;
@@ -295,14 +360,19 @@ CommGroup::buildRing(CollectiveOp &op, std::uint64_t bytes,
         // Pairwise-exchange rounds: in round i every rank sends its
         // block for rank r+i. Rounds are chained per sender, so the
         // schedule keeps the round structure of the ring variant.
+        const ChunkSpan span = chunkSpanOf(bytes);
+        if (n > 2)
+            edge_scratch_.reserve(n * span.count * (n - 2));
         for (unsigned r = 0; r < n; ++r) {
-            const auto chunks = chunksOf(bytes);
-            std::vector<std::vector<std::uint32_t>> prev(
-                chunks.size());
+            prev_scratch_.assign(span.count, 0);
             for (unsigned i = 1; i < n; ++i) {
-                for (std::size_t k = 0; k < chunks.size(); ++k) {
-                    prev[k] = {addTask(op, r, (r + i) % n, chunks[k],
-                                       prev[k])};
+                for (std::uint64_t k = 0; k < span.count; ++k) {
+                    const std::uint64_t c =
+                        k + 1 == span.count ? span.last : cb;
+                    prev_scratch_[k] =
+                        addTask(op, r, (r + i) % n, c,
+                                i == 1 ? nullptr : &prev_scratch_[k],
+                                i == 1 ? 0 : 1);
                 }
             }
         }
@@ -321,6 +391,9 @@ CommGroup::buildDirect(CollectiveOp &op, std::uint64_t bytes,
     if (n < 2 || bytes == 0)
         return;
     op.tasks_.reserve(op.tasks_.size() + taskCount(op.kind_, bytes));
+    const std::uint64_t cb = params_.chunk_bytes;
+    const std::uint64_t q = bytes / n;
+    const std::uint64_t rem = bytes % n;
 
     switch (op.kind_) {
       case Collective::allReduce: {
@@ -328,62 +401,85 @@ CommGroup::buildDirect(CollectiveOp &op, std::uint64_t bytes,
         // shard s straight to rank s. Phase 2 (all-gather): rank s
         // returns the reduced shard to everyone; per chunk, phase 2
         // waits on all of that chunk's phase-1 arrivals.
-        const auto shards = splitEven(bytes, n);
+        edge_scratch_.reserve(shardedChunkCount(bytes) *
+                              (n - 1) * (n - 1));
         for (unsigned s = 0; s < n; ++s) {
-            for (std::uint64_t c : chunksOf(shards[s])) {
-                std::vector<std::uint32_t> reduce_ids;
+            const std::uint64_t shard = q + (s < rem ? 1 : 0);
+            const ChunkSpan span = chunkSpanOf(shard);
+            for (std::uint64_t k = 0; k < span.count; ++k) {
+                const std::uint64_t c =
+                    k + 1 == span.count ? span.last : cb;
+                id_scratch_.clear();
                 for (unsigned r = 0; r < n; ++r) {
-                    if (r != s)
-                        reduce_ids.push_back(addTask(op, r, s, c, {}));
+                    if (r != s) {
+                        id_scratch_.push_back(
+                            addTask(op, r, s, c, nullptr, 0));
+                    }
                 }
                 for (unsigned d = 0; d < n; ++d) {
-                    if (d != s)
-                        addTask(op, s, d, c, reduce_ids);
+                    if (d != s) {
+                        addTask(op, s, d, c, id_scratch_.data(),
+                                static_cast<std::uint32_t>(
+                                    id_scratch_.size()));
+                    }
                 }
             }
         }
         break;
       }
       case Collective::allGather: {
-        const auto shards = splitEven(bytes, n);
         for (unsigned s = 0; s < n; ++s) {
-            for (std::uint64_t c : chunksOf(shards[s])) {
+            const std::uint64_t shard = q + (s < rem ? 1 : 0);
+            const ChunkSpan span = chunkSpanOf(shard);
+            for (std::uint64_t k = 0; k < span.count; ++k) {
+                const std::uint64_t c =
+                    k + 1 == span.count ? span.last : cb;
                 for (unsigned d = 0; d < n; ++d) {
                     if (d != s)
-                        addTask(op, s, d, c, {});
+                        addTask(op, s, d, c, nullptr, 0);
                 }
             }
         }
         break;
       }
       case Collective::reduceScatter: {
-        const auto shards = splitEven(bytes, n);
         for (unsigned s = 0; s < n; ++s) {
-            for (std::uint64_t c : chunksOf(shards[s])) {
+            const std::uint64_t shard = q + (s < rem ? 1 : 0);
+            const ChunkSpan span = chunkSpanOf(shard);
+            for (std::uint64_t k = 0; k < span.count; ++k) {
+                const std::uint64_t c =
+                    k + 1 == span.count ? span.last : cb;
                 for (unsigned r = 0; r < n; ++r) {
                     if (r != s)
-                        addTask(op, r, s, c, {});
+                        addTask(op, r, s, c, nullptr, 0);
                 }
             }
         }
         break;
       }
       case Collective::broadcast: {
-        for (std::uint64_t c : chunksOf(bytes)) {
+        const ChunkSpan span = chunkSpanOf(bytes);
+        for (std::uint64_t k = 0; k < span.count; ++k) {
+            const std::uint64_t c =
+                k + 1 == span.count ? span.last : cb;
             for (unsigned d = 0; d < n; ++d) {
                 if (d != root)
-                    addTask(op, root, d, c, {});
+                    addTask(op, root, d, c, nullptr, 0);
             }
         }
         break;
       }
       case Collective::allToAll: {
+        const ChunkSpan span = chunkSpanOf(bytes);
         for (unsigned r = 0; r < n; ++r) {
             for (unsigned d = 0; d < n; ++d) {
                 if (d == r)
                     continue;
-                for (std::uint64_t c : chunksOf(bytes))
-                    addTask(op, r, d, c, {});
+                for (std::uint64_t k = 0; k < span.count; ++k) {
+                    const std::uint64_t c =
+                        k + 1 == span.count ? span.last : cb;
+                    addTask(op, r, d, c, nullptr, 0);
+                }
             }
         }
         break;
@@ -416,6 +512,7 @@ CommGroup::bytesCounter(Collective c)
 OpHandle
 CommGroup::start(Tick when, OpHandle op)
 {
+    finalizeDag(*op);
     op->start_ = std::max(when, eventq()->curTick());
     op->finish_ = op->start_;
     op->pending_ = op->tasks_.size();
@@ -494,19 +591,23 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
             [this, op, idx] { runTask(op, idx); });
         return;
     }
-    const auto res =
-        net_->send(eventq()->curTick(), t.src, t.dst, t.bytes);
+    // Replay the cached route: no per-chunk route-table walk. Tasks
+    // always join distinct ranks, so this is exactly send() minus
+    // the lookup.
+    const auto res = net_->sendOnRoute(
+        eventq()->curTick(), routeFor(t.route_slot), t.bytes);
     const auto moved =
         t.bytes * static_cast<std::uint64_t>(res.hops);
     op->link_bytes_ += moved;
     link_bytes += static_cast<double>(moved);
     op->finish_ = std::max(op->finish_, res.arrival);
 
-    for (std::uint32_t d : t.dependents) {
-        CollectiveOp::Task &dt = op->tasks_[d];
+    const std::uint32_t *dep = op->dag_.data() + t.dep_off;
+    for (std::uint32_t k = 0; k < t.dep_cnt; ++k) {
+        CollectiveOp::Task &dt = op->tasks_[dep[k]];
         dt.ready = std::max(dt.ready, res.arrival);
         if (--dt.deps == 0)
-            scheduleTask(op, d);
+            scheduleTask(op, dep[k]);
     }
     if (--op->pending_ == 0)
         completeOp(*op);
@@ -622,8 +723,14 @@ CommGroup::sendRecv(Tick when, unsigned src, unsigned dst,
     if (src != dst) {
         // Chunks are independent: per-link occupancy serializes them
         // at the bottleneck while they pipeline across hops.
-        for (std::uint64_t c : chunksOf(bytes))
-            addTask(*op, src, dst, c, {});
+        const ChunkSpan span = chunkSpanOf(bytes);
+        op->tasks_.reserve(span.count);
+        for (std::uint64_t k = 0; k < span.count; ++k) {
+            const std::uint64_t c = k + 1 == span.count
+                                        ? span.last
+                                        : params_.chunk_bytes;
+            addTask(*op, src, dst, c, nullptr, 0);
+        }
     }
     return start(when, op);
 }

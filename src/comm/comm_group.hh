@@ -38,6 +38,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fabric/network.hh"
@@ -136,7 +137,9 @@ class CollectiveOp
         unsigned deps = 0;
         unsigned attempt = 0;   ///< transfer attempts failed so far
         Tick ready = 0;
-        std::vector<std::uint32_t> dependents;
+        std::uint32_t dep_off = 0;  ///< first dependent, index into dag_
+        std::uint32_t dep_cnt = 0;  ///< number of dependents in dag_
+        std::uint32_t route_slot = 0; ///< src_rank * numRanks + dst_rank
     };
 
     Collective kind_ = Collective::allReduce;
@@ -148,6 +151,13 @@ class CollectiveOp
     Tick finish_ = 0;
     std::size_t pending_ = 0;
     std::vector<Task> tasks_;
+    /**
+     * Dependent edges in CSR form: task i's dependents occupy
+     * dag_[tasks_[i].dep_off .. dep_off + dep_cnt). One arena per op
+     * instead of one vector per task, so building a collective does
+     * no per-chunk heap allocation (DESIGN.md §12).
+     */
+    std::vector<std::uint32_t> dag_;
 };
 
 using OpHandle = std::shared_ptr<CollectiveOp>;
@@ -248,13 +258,30 @@ class CommGroup : public SimObject
     /** @} */
 
   private:
-    /** Split @p bytes into @p parts near-equal shards (some may be
-     *  zero when bytes < parts; zero shards schedule no traffic). */
-    static std::vector<std::uint64_t> splitEven(std::uint64_t bytes,
-                                                unsigned parts);
+    /**
+     * Closed-form chunking of a buffer into params_.chunk_bytes
+     * pieces: @c count chunks, every one full-sized except the last.
+     * Replaces materializing a vector of chunk sizes per shard; the
+     * k-th chunk is chunk_bytes for k < count-1 and @c last for the
+     * final one, identical to the old chunksOf() sequence.
+     */
+    struct ChunkSpan
+    {
+        std::uint64_t count = 0;
+        std::uint64_t last = 0;     ///< bytes in the final chunk
+    };
 
-    /** Split @p bytes into chunks of at most params_.chunk_bytes. */
-    std::vector<std::uint64_t> chunksOf(std::uint64_t bytes) const;
+    ChunkSpan chunkSpanOf(std::uint64_t bytes) const;
+
+    /** Number of chunk transfers @p bytes decomposes into. */
+    std::uint64_t chunkCount(std::uint64_t bytes) const;
+
+    /**
+     * Total chunks over the N near-equal shards of @p bytes
+     * (bytes % N shards of size bytes/N + 1, the rest bytes/N —
+     * the closed form of the old splitEven()).
+     */
+    std::uint64_t shardedChunkCount(std::uint64_t bytes) const;
 
     /**
      * Exact number of chunk transfers a collective over @p bytes
@@ -263,10 +290,32 @@ class CommGroup : public SimObject
      */
     std::uint64_t taskCount(Collective kind, std::uint64_t bytes) const;
 
-    /** Append a task; wires dependencies. @return its index. */
+    /**
+     * Append a task. Dependency edges are staged in edge_scratch_
+     * until finalizeDag() packs them into the op's CSR arena.
+     * @return the new task's index.
+     */
     std::uint32_t addTask(CollectiveOp &op, unsigned src_rank,
                           unsigned dst_rank, std::uint64_t bytes,
-                          const std::vector<std::uint32_t> &deps);
+                          const std::uint32_t *deps,
+                          std::uint32_t ndeps);
+
+    /**
+     * Pack edge_scratch_ into op.dag_ with a stable counting sort:
+     * each task's dependents keep edge-insertion order, which is the
+     * order the old per-Task dependent vectors produced, so event
+     * scheduling order — and therefore every simulated tick — is
+     * unchanged.
+     */
+    void finalizeDag(CollectiveOp &op);
+
+    /**
+     * The cached link-resolved route for @p slot
+     * (src_rank * numRanks + dst_rank), revalidated against the
+     * network's routeEpoch() so fault-driven rerouting invalidates
+     * it exactly when the node-path cache is invalidated.
+     */
+    const fabric::LinkRoute &routeFor(std::uint32_t slot);
 
     void buildRing(CollectiveOp &op, std::uint64_t bytes,
                    unsigned root);
@@ -288,6 +337,22 @@ class CommGroup : public SimObject
     ChunkFaultHook fault_hook_;
     /** Every directed link some rank pair routes over. */
     std::vector<fabric::Link *> links_;
+    /**
+     * Per rank-pair LinkRoute cache, slot = src_rank * N + dst_rank.
+     * Entries point into the network's own route cache and are
+     * dropped wholesale when routeEpoch() moves (a link fault or
+     * topology change), then re-resolved lazily — the per-chunk hot
+     * path dereferences one pointer instead of re-walking the route
+     * table per hop.
+     */
+    std::vector<const fabric::LinkRoute *> pair_routes_;
+    std::uint64_t route_epoch_ = 0;
+    /** @{ construction scratch, reused across ops so steady-state
+     *  collective construction never allocates per chunk */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_scratch_;
+    std::vector<std::uint32_t> prev_scratch_;
+    std::vector<std::uint32_t> id_scratch_;
+    /** @} */
     std::vector<OpHandle> outstanding_;
     Tick last_finish_ = 0;
 };

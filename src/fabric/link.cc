@@ -77,6 +77,10 @@ Link::Link(SimObject *parent, const std::string &name,
       busy_frac(this, "busy_frac",
                 "busy ticks / observed wall ticks",
                 [this] { return utilization(); }),
+      hp_busy_frac(this, "hp_busy_frac",
+                   "reserved-VC serialization ticks / observed "
+                   "wall ticks",
+                   [this] { return hpUtilization(); }),
       achieved_gbps(this, "achieved_gbps",
                     "achieved bandwidth first-to-last transfer, GB/s",
                     [this] { return achievedBandwidth() / 1e9; }),
@@ -91,23 +95,35 @@ Link::transfer(Tick when, std::uint64_t bytes, bool high_priority)
     if (killed_)
         panic(name(), ": transfer on a killed link (routing should "
               "have gone around it)");
-    ++transfers;
-    bytes_moved += static_cast<double>(bytes);
-    first_use_ = std::min(first_use_, when);
-
+    // Serialization at the current (possibly derated) rate: the
+    // occupancy charge for bulk traffic, the whole delay for
+    // reserved-VC traffic, and the busy-accounting increment for
+    // both classes.
+    const Tick ser =
+        serializationTicks(bytes, effectiveBandwidth());
     Tick done;
     if (high_priority) {
         ++hp_transfers;
         // Reserved VC: pays serialization at link rate but does not
-        // queue behind bulk data.
-        Tick dur = serializationTicks(bytes, effectiveBandwidth());
-        done = when + dur;
+        // queue behind bulk data. Still accounted as busy time —
+        // a link carrying only HP traffic used to report
+        // busy_frac == 0 (see hp_busy_frac).
+        hp_busy_ticks_ += ser;
+        done = when + ser;
     } else {
         done = occupancy_.occupy(when, bytes);
-        busy_ticks_ += serializationTicks(bytes, effectiveBandwidth());
+        busy_ticks_ += ser;
     }
+    // One batched bookkeeping touch per hop: counters and the
+    // first/last activity window update together, after the timing
+    // math, so a multi-hop send writes each link's state once.
+    ++transfers;
+    bytes_moved += static_cast<double>(bytes);
+    if (when < first_use_)
+        first_use_ = when;
     const Tick arrival = done + params_.latency;
-    last_done_ = std::max(last_done_, arrival);
+    if (arrival > last_done_)
+        last_done_ = arrival;
     return arrival;
 }
 
@@ -153,6 +169,15 @@ Link::utilization() const
     if (last_done_ <= first_use_ || first_use_ == maxTick)
         return 0.0;
     return static_cast<double>(busy_ticks_) /
+           static_cast<double>(last_done_ - first_use_);
+}
+
+double
+Link::hpUtilization() const
+{
+    if (last_done_ <= first_use_ || first_use_ == maxTick)
+        return 0.0;
+    return static_cast<double>(hp_busy_ticks_) /
            static_cast<double>(last_done_ - first_use_);
 }
 

@@ -102,14 +102,23 @@ class Link : public SimObject
     /** Achieved bandwidth between the first and last transfer. */
     double achievedBandwidth() const;
 
-    /** Utilization = busy time / wall time observed. */
+    /** Utilization = busy time / wall time observed (bulk VC). */
     double utilization() const;
+
+    /**
+     * Reserved-VC utilization: high-priority serialization time /
+     * wall time observed. Kept separate from utilization() so bulk
+     * busy_frac keeps its meaning (occupancy-queue pressure) while
+     * HP-only links no longer report zero busy time.
+     */
+    double hpUtilization() const;
 
     /** @{ statistics */
     stats::Scalar transfers;
     stats::Scalar bytes_moved;
     stats::Scalar hp_transfers;
     stats::Formula busy_frac;
+    stats::Formula hp_busy_frac;
     stats::Formula achieved_gbps;
     /** @} */
 
@@ -119,6 +128,7 @@ class Link : public SimObject
     Tick first_use_ = maxTick;
     Tick last_done_ = 0;
     Tick busy_ticks_ = 0;
+    Tick hp_busy_ticks_ = 0;
     double derate_ = 1.0;
     bool killed_ = false;
 };

@@ -145,6 +145,8 @@ Network::invalidateRoutes()
 {
     routes_.assign(numNodes(), {});
     routes_valid_.assign(numNodes(), false);
+    link_routes_.assign(numNodes(), {});
+    ++route_epoch_;
 }
 
 void
@@ -201,6 +203,25 @@ Network::path(NodeId src, NodeId dst) const
     return p;
 }
 
+const LinkRoute &
+Network::linkRoute(NodeId src, NodeId dst) const
+{
+    const auto &p = path(src, dst);
+    auto &per_src = link_routes_[src];
+    if (per_src.empty())
+        per_src.resize(numNodes());
+    LinkRoute &r = per_src[dst];
+    if (r.links.empty() && p.size() > 1) {
+        r.links.reserve(p.size() - 1);
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+            const auto it =
+                links_.find(std::make_pair(p[i], p[i + 1]));
+            r.links.push_back(it->second.get());
+        }
+    }
+    return r;
+}
+
 unsigned
 Network::hopCount(NodeId src, NodeId dst) const
 {
@@ -213,17 +234,24 @@ MessageResult
 Network::send(Tick when, NodeId src, NodeId dst, std::uint64_t bytes,
               bool high_priority)
 {
-    ++messages;
-    MessageResult res;
     if (src == dst) {
+        ++messages;
+        MessageResult res;
         res.arrival = when;
         return res;
     }
-    const auto &p = path(src, dst);
+    return sendOnRoute(when, linkRoute(src, dst), bytes,
+                       high_priority);
+}
+
+MessageResult
+Network::sendOnRoute(Tick when, const LinkRoute &route,
+                     std::uint64_t bytes, bool high_priority)
+{
+    ++messages;
+    MessageResult res;
     Tick t = when;
-    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
-        auto it = links_.find(std::make_pair(p[i], p[i + 1]));
-        Link *l = it->second.get();
+    for (Link *l : route.links) {
         t = l->transfer(t, bytes, high_priority);
         res.energy_pj += static_cast<double>(bytes) *
                          l->params().energy_pj_per_byte;

@@ -47,6 +47,20 @@ struct MessageResult
     double energy_pj = 0;
 };
 
+/**
+ * A minimum-hop path resolved all the way to its Link objects, in
+ * hop order. This is the fabric fast-path currency (DESIGN.md §12):
+ * resolving a route once and replaying transfers over the cached
+ * Link pointers skips the per-hop link-table lookup that used to run
+ * per chunk. References are valid until the next topology mutation
+ * (addNode/connect/killLink); cache them only alongside
+ * routeEpoch().
+ */
+struct LinkRoute
+{
+    std::vector<Link *> links;
+};
+
 class Network : public SimObject
 {
   public:
@@ -97,6 +111,23 @@ class Network : public SimObject
     /** Minimum-hop path as a node sequence (fatal if unreachable). */
     const std::vector<NodeId> &path(NodeId src, NodeId dst) const;
 
+    /**
+     * The minimum-hop path resolved to Link pointers, cached per
+     * (src, dst) and rebuilt lazily after invalidation (fatal if
+     * unreachable). The reference is stable until the next topology
+     * mutation; revalidate with routeEpoch() before reuse across
+     * events.
+     */
+    const LinkRoute &linkRoute(NodeId src, NodeId dst) const;
+
+    /**
+     * Monotonic counter bumped by every route invalidation
+     * (addNode, connect, killLink). A cached LinkRoute reference is
+     * valid only while this value is unchanged from when it was
+     * resolved.
+     */
+    std::uint64_t routeEpoch() const { return route_epoch_; }
+
     /** Hop count of the minimum path (0 when src == dst). */
     unsigned hopCount(NodeId src, NodeId dst) const;
 
@@ -108,6 +139,16 @@ class Network : public SimObject
     MessageResult send(Tick when, NodeId src, NodeId dst,
                        std::uint64_t bytes,
                        bool high_priority = false);
+
+    /**
+     * Send @p bytes over an already-resolved route: identical
+     * timing, energy, and stats to send(), minus the route lookup.
+     * @p route must come from linkRoute() at the current
+     * routeEpoch(); a stale reference is a use-after-invalidate.
+     */
+    MessageResult sendOnRoute(Tick when, const LinkRoute &route,
+                              std::uint64_t bytes,
+                              bool high_priority = false);
 
     /** Sum of transfer energy over all links, joules. */
     double totalEnergyJoules() const;
@@ -134,6 +175,11 @@ class Network : public SimObject
     /** Route cache: routes_[src][dst] = node path. */
     mutable std::vector<std::vector<std::vector<NodeId>>> routes_;
     mutable std::vector<bool> routes_valid_;
+
+    /** Link-resolved route cache, filled lazily per (src, dst);
+     *  cleared (with routes_) on every topology mutation. */
+    mutable std::vector<std::vector<LinkRoute>> link_routes_;
+    std::uint64_t route_epoch_ = 0;
 
     /** Per-source route recomputes forced by link faults. */
     mutable std::uint64_t route_recomputes_ = 0;

@@ -13,12 +13,12 @@
 #define EHPSIM_MEM_MEM_DEVICE_HH
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
-#include "sim/ordered.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
@@ -62,6 +62,19 @@ class MemDevice : public SimObject
  * windows (backfill), so out-of-order completions upstream do not
  * artificially serialize independent requests — they only contend
  * for bandwidth.
+ *
+ * Window state lives in dense fixed-size pages indexed from the
+ * first window ever touched, not in hash maps: a saturating
+ * transfer walks its windows in order, so per-window bookkeeping is
+ * two array writes instead of two hash probes, untouched gaps cost
+ * one null page pointer, and teardown frees whole pages. This is
+ * the fabric hot path (DESIGN.md §12) — a multi-MiB chunk crossing
+ * an x16 link consumes ~1k windows per hop, and the old
+ * unordered_map storage spent most of comm_allreduce_octo's wall
+ * time rehashing. The arithmetic (window budgets, the 1e-6 fullness
+ * epsilon, completion rounding) is unchanged, so completion ticks
+ * and windowLoads() output are byte-identical to the map-backed
+ * tracker.
  */
 class OccupancyTracker
 {
@@ -110,7 +123,7 @@ class OccupancyTracker
             const Tick w_end = (w + 1) * window_;
             const double time_avail = static_cast<double>(w_end - when);
             double avail = std::min(time_avail * bytes_per_tick_,
-                                    budget - used_[w]);
+                                    budget - usedAt(w));
             if (avail > 0) {
                 const double take = std::min(avail, remaining);
                 consume(w, take, budget);
@@ -127,14 +140,14 @@ class OccupancyTracker
             w = findFree(w + 1, budget);
         }
         for (;;) {
-            const double avail = budget - used_[w];
+            const double avail = budget - usedAt(w);
             const double take = std::min(avail, remaining);
             consume(w, take, budget);
             remaining -= take;
             if (remaining <= 0) {
                 const Tick done =
                     w * window_ +
-                    static_cast<Tick>(used_[w] / bytes_per_tick_);
+                    static_cast<Tick>(usedAt(w) / bytes_per_tick_);
                 last_done_ = std::max(last_done_, done);
                 return done;
             }
@@ -147,17 +160,25 @@ class OccupancyTracker
 
     /**
      * (window start tick, bytes consumed) pairs in ascending window
-     * order — the deterministic way to inspect the tracker. The
-     * backing maps are unordered and must never be iterated
-     * directly by anything that feeds stats or JSON output.
+     * order — the deterministic way to inspect the tracker. Pages
+     * are stored in window order, so this is a forward scan that
+     * skips windows no transfer ever consumed from.
      */
     std::vector<std::pair<Tick, double>>
     windowLoads() const
     {
         std::vector<std::pair<Tick, double>> out;
-        out.reserve(used_.size());
-        for (const std::uint64_t w : sortedKeys(used_))
-            out.emplace_back(w * window_, used_.at(w));
+        for (std::size_t p = 0; p < pages_.size(); ++p) {
+            if (!pages_[p])
+                continue;
+            const std::uint64_t first =
+                (base_page_ + p) << kPageBits;
+            for (std::uint64_t k = 0; k < kPageWindows; ++k) {
+                const double u = pages_[p]->used[k];
+                if (u > 0.0)
+                    out.emplace_back((first + k) * window_, u);
+            }
+        }
         return out;
     }
 
@@ -175,12 +196,83 @@ class OccupancyTracker
     void
     reset()
     {
-        used_.clear();
-        skip_.clear();
+        pages_.clear();
+        base_page_ = 0;
+        touched_ = false;
         last_done_ = 0;
     }
 
   private:
+    /** Windows per page; pages are the allocation grain. */
+    static constexpr std::uint64_t kPageBits = 9;
+    static constexpr std::uint64_t kPageWindows = 1ull << kPageBits;
+    static constexpr std::uint64_t kPageMask = kPageWindows - 1;
+
+    /**
+     * One page of window state. @c skip holds the path-compressed
+     * chain over full windows: 0 means "no entry" (stored targets
+     * are always > their window index, so 0 is never a live value).
+     */
+    struct Page
+    {
+        std::array<double, kPageWindows> used{};
+        std::array<std::uint64_t, kPageWindows> skip{};
+    };
+
+    /** The page holding window @p w, allocating it (and any page
+     *  table growth, including in front of the first touch) on
+     *  demand. */
+    Page &
+    pageFor(std::uint64_t w)
+    {
+        const std::uint64_t p = w >> kPageBits;
+        if (!touched_) {
+            base_page_ = p;
+            touched_ = true;
+        }
+        if (p < base_page_) {
+            const std::uint64_t add = base_page_ - p;
+            std::vector<std::unique_ptr<Page>> grown(pages_.size() +
+                                                     add);
+            std::move(pages_.begin(), pages_.end(),
+                      grown.begin() + add);
+            pages_ = std::move(grown);
+            base_page_ = p;
+        }
+        const std::uint64_t idx = p - base_page_;
+        if (idx >= pages_.size())
+            pages_.resize(idx + 1);
+        if (!pages_[idx])
+            pages_[idx] = std::make_unique<Page>();
+        return *pages_[idx];
+    }
+
+    /** The page holding window @p w, or nullptr if never touched. */
+    const Page *
+    peekPage(std::uint64_t w) const
+    {
+        const std::uint64_t p = w >> kPageBits;
+        if (!touched_ || p < base_page_ ||
+            p - base_page_ >= pages_.size()) {
+            return nullptr;
+        }
+        return pages_[p - base_page_].get();
+    }
+
+    double
+    usedAt(std::uint64_t w) const
+    {
+        const Page *p = peekPage(w);
+        return p ? p->used[w & kPageMask] : 0.0;
+    }
+
+    std::uint64_t
+    skipAt(std::uint64_t w) const
+    {
+        const Page *p = peekPage(w);
+        return p ? p->skip[w & kPageMask] : 0;
+    }
+
     /**
      * First window at or after @p w with free budget, following the
      * path-compressed skip chain over full windows.
@@ -191,25 +283,22 @@ class OccupancyTracker
         // Walk the chain.
         std::uint64_t cur = w;
         for (;;) {
-            auto it = skip_.find(cur);
-            std::uint64_t next = it == skip_.end() ? cur : it->second;
+            const std::uint64_t s = skipAt(cur);
+            std::uint64_t next = s == 0 ? cur : s;
             if (next == cur) {
-                auto used_it = used_.find(cur);
-                if (used_it == used_.end() ||
-                    used_it->second < budget - 1e-6) {
+                if (usedAt(cur) < budget - 1e-6)
                     break;
-                }
                 next = cur + 1;
             }
             cur = next;
         }
         // Path-compress: point every visited window at the answer.
+        // Every compressed window was full, so its page exists.
         std::uint64_t walk = w;
         while (walk < cur) {
-            auto it = skip_.find(walk);
-            const std::uint64_t next =
-                it == skip_.end() ? walk + 1 : it->second;
-            skip_[walk] = cur;
+            const std::uint64_t s = skipAt(walk);
+            const std::uint64_t next = s == 0 ? walk + 1 : s;
+            pageFor(walk).skip[walk & kPageMask] = cur;
             walk = next;
         }
         return cur;
@@ -219,16 +308,19 @@ class OccupancyTracker
     void
     consume(std::uint64_t w, double take, double budget)
     {
-        double &u = used_[w];
+        Page &p = pageFor(w);
+        double &u = p.used[w & kPageMask];
         u += take;
         if (u >= budget - 1e-6)
-            skip_[w] = w + 1;
+            p.skip[w & kPageMask] = w + 1;
     }
 
     double bytes_per_tick_ = 0.0;
     Tick window_ = 1000;
-    std::unordered_map<std::uint64_t, double> used_;
-    std::unordered_map<std::uint64_t, std::uint64_t> skip_;
+    /** Page table; index 0 is @c base_page_ (first page touched). */
+    std::vector<std::unique_ptr<Page>> pages_;
+    std::uint64_t base_page_ = 0;
+    bool touched_ = false;
     Tick last_done_ = 0;
 };
 

@@ -274,6 +274,31 @@ TEST(CommCollectives, ZeroBytesAndBadRanksAreHandled)
                  std::runtime_error);
 }
 
+TEST(CommFaults, RouteCacheFollowsMidSimReroute)
+{
+    SimObject root(nullptr, "root");
+    auto node = makeRingOnlyQuad(&root);
+    EventQueue eq;
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq, fineGrained());
+    const auto ranks = node->deviceRanks();
+    // Warm the group's per-pair LinkRoute cache with a collective.
+    auto first = group.allReduce(0, 4 * MiB, Algorithm::ring);
+    group.waitAll();
+    ASSERT_TRUE(first->done());
+    // Fail the ranks[0] <-> ranks[1] ring link mid-sim. Every cached
+    // LinkRoute pointer in the group is stale the moment the route
+    // epoch moves; the next collective must re-resolve and pipeline
+    // the long way round instead of replaying a dead route.
+    node->network()->killLink(ranks[0], ranks[1]);
+    EXPECT_EQ(node->network()->hopCount(ranks[0], ranks[1]), 3u);
+    auto second = group.sendRecv(eq.curTick(), 0, 1, 4 * MiB);
+    group.waitAll();
+    ASSERT_TRUE(second->done());
+    // 4 MiB rerouted over the three surviving ring hops.
+    EXPECT_EQ(second->linkBytes(), 3ull * 4 * MiB);
+}
+
 TEST(CommGroupCtor, RejectsBadRankSets)
 {
     SimObject root(nullptr, "root");

@@ -49,6 +49,39 @@ TEST(Link, HighPriorityBypassesQueue)
     EXPECT_DOUBLE_EQ(link.hp_transfers.value(), 1.0);
 }
 
+TEST(Link, HighPriorityBusyAccounting)
+{
+    SimObject root(nullptr, "root");
+    LinkParams p;
+    p.bandwidth = gbps(1.0);    // 1 byte/ns
+    p.latency = 0;
+    Link link(&root, "l", p);
+    // 1000 bytes of reserved-VC traffic: 1000 ns of serialization
+    // that bypasses the occupancy queue. A link carrying only HP
+    // traffic used to report busy_frac == 0; the serialization now
+    // lands in the separate hp_busy_frac so bulk busy_frac keeps
+    // meaning occupancy-queue pressure.
+    link.transfer(0, 1000, true);
+    EXPECT_DOUBLE_EQ(link.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(link.hpUtilization(), 1.0);
+    EXPECT_DOUBLE_EQ(link.hp_busy_frac.value(), 1.0);
+}
+
+TEST(Link, MixedTrafficSplitsBusyAccounting)
+{
+    SimObject root(nullptr, "root");
+    LinkParams p;
+    p.bandwidth = gbps(1.0);
+    p.latency = 0;
+    Link link(&root, "l", p);
+    link.transfer(0, 1000);             // bulk: occupancy queue
+    link.transfer(0, 1000, true);       // HP: reserved VC
+    // Both classes serialize for the full observed window, each
+    // counted in its own bucket.
+    EXPECT_DOUBLE_EQ(link.utilization(), 1.0);
+    EXPECT_DOUBLE_EQ(link.hpUtilization(), 1.0);
+}
+
 TEST(Link, EnergyAccounting)
 {
     SimObject root(nullptr, "root");
@@ -192,6 +225,62 @@ TEST(Network, KilledLinkReroutesTheLongWayRound)
     EXPECT_TRUE(f.net.reachable(f.iod[0], f.iod[1]));
     EXPECT_EQ(f.net.hopCount(f.iod[0], f.iod[1]), 3u);
     EXPECT_FALSE(f.net.linkAlive(f.iod[0], f.iod[1]));
+}
+
+TEST(Network, LinkRouteCacheInvalidatedByMidSimKill)
+{
+    MeshFixture f;
+    // Resolve and use the 1-hop route, as a CommGroup would.
+    const LinkRoute &before = f.net.linkRoute(f.iod[0], f.iod[1]);
+    ASSERT_EQ(before.links.size(), 1u);
+    f.net.sendOnRoute(0, before, 4096);
+    const std::uint64_t epoch = f.net.routeEpoch();
+    // Kill the link mid-sim: the epoch must move (telling every
+    // cached LinkRoute holder to re-resolve) and the fresh route
+    // must go the long way round over live links only.
+    f.net.killLink(f.iod[0], f.iod[1]);
+    EXPECT_GT(f.net.routeEpoch(), epoch);
+    const LinkRoute &after = f.net.linkRoute(f.iod[0], f.iod[1]);
+    ASSERT_EQ(after.links.size(), 3u);
+    for (const Link *l : after.links)
+        EXPECT_TRUE(l->alive());
+    const auto res = f.net.sendOnRoute(0, after, 4096);
+    EXPECT_EQ(res.hops, 3u);
+}
+
+TEST(Network, RouteEpochTracksEveryTopologyMutation)
+{
+    SimObject root(nullptr, "root");
+    Network net(&root, "net");
+    std::uint64_t e = net.routeEpoch();
+    const auto a = net.addNode("a", NodeKind::iod);
+    EXPECT_GT(net.routeEpoch(), e);
+    e = net.routeEpoch();
+    const auto b = net.addNode("b", NodeKind::iod);
+    EXPECT_GT(net.routeEpoch(), e);
+    e = net.routeEpoch();
+    net.connect(a, b, usrLinkParams());
+    EXPECT_GT(net.routeEpoch(), e);
+    e = net.routeEpoch();
+    // Derating never moves routes (min-hop paths ignore bandwidth),
+    // so cached LinkRoutes stay valid and the epoch must hold still.
+    net.derateLink(a, b, 0.5);
+    EXPECT_EQ(net.routeEpoch(), e);
+    net.killLink(a, b);
+    EXPECT_GT(net.routeEpoch(), e);
+}
+
+TEST(Network, SendMatchesSendOnRoute)
+{
+    // send() is linkRoute() + sendOnRoute(); a fresh identical mesh
+    // must produce identical timing either way.
+    MeshFixture f1, f2;
+    const auto direct = f1.net.send(0, f1.xcd, f1.hbm, 1 << 20);
+    const auto routed = f2.net.sendOnRoute(
+        0, f2.net.linkRoute(f2.xcd, f2.hbm), 1 << 20);
+    EXPECT_EQ(direct.arrival, routed.arrival);
+    EXPECT_EQ(direct.hops, routed.hops);
+    EXPECT_DOUBLE_EQ(direct.energy_pj, routed.energy_pj);
 }
 
 TEST(Network, PartitionedGraphFatalsOnUseNotOnKill)

@@ -1,0 +1,29 @@
+// Fixture: the sanctioned patterns stay clean (0 findings) — a
+// vector declared outside the loop, references/pointers into an
+// existing buffer, a non-declaration use (::iterator), and one
+// suppressed per-iteration vector for a cold path.
+#include <cstdint>
+#include <vector>
+
+struct Op
+{
+    std::vector<std::uint32_t> tasks;
+};
+
+void
+buildRing(Op &op, unsigned steps, std::uint64_t chunks,
+          std::vector<std::uint32_t> &scratch)
+{
+    std::vector<std::uint64_t> sizes(chunks, 1u); // hoisted: fine
+    for (unsigned s = 0; s < steps; ++s) {
+        scratch.clear(); // reused member/parameter: fine
+        const std::vector<std::uint64_t> &view = sizes;
+        const std::vector<std::uint64_t> *ptr = &sizes;
+        std::vector<std::uint64_t>::const_iterator it = view.begin();
+        for (std::uint64_t c = 0; c < chunks; ++c)
+            scratch.push_back(static_cast<std::uint32_t>(*it + ptr->size()));
+        // ehpsim-lint: allow(chunk-alloc)
+        std::vector<std::uint32_t> cold_path_copy = scratch;
+        op.tasks.push_back(cold_path_copy.front());
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: per-iteration std::vector construction in a collective
+// builder loop must be flagged (2 findings). The directory name puts
+// this under a comm/ path, where the rule applies.
+#include <cstdint>
+#include <vector>
+
+struct Op
+{
+    std::vector<std::uint32_t> tasks;
+};
+
+void
+buildRing(Op &op, unsigned steps, std::uint64_t chunks)
+{
+    for (unsigned s = 0; s < steps; ++s) {
+        std::vector<std::uint64_t> sizes(chunks, 1u);
+        for (std::uint64_t c = 0; c < chunks; ++c)
+            op.tasks.push_back(static_cast<std::uint32_t>(sizes[c]));
+    }
+    std::uint64_t c = 0;
+    while (c < chunks) {
+        std::vector<std::uint32_t> deps = {0u, 1u};
+        op.tasks.push_back(deps[0]);
+        ++c;
+    }
+}

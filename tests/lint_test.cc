@@ -150,6 +150,19 @@ TEST(LintFixtures, FloatAllowedIsClean)
     EXPECT_TRUE(lintFixture("float_allowed.cc").empty());
 }
 
+TEST(LintFixtures, ChunkAllocBadIsFlagged)
+{
+    // The fixture lives under a comm/ subdirectory on purpose: the
+    // rule only applies to collective-construction paths.
+    const auto findings = lintFixture("comm/chunk_alloc_bad.cc");
+    EXPECT_EQ(countOnly(findings, Rule::chunkAlloc), 2u);
+}
+
+TEST(LintFixtures, ChunkAllocAllowedIsClean)
+{
+    EXPECT_TRUE(lintFixture("comm/chunk_alloc_allowed.cc").empty());
+}
+
 // ---------------------------------------------------------------------------
 // 2. Unit tests on inline snippets.
 // ---------------------------------------------------------------------------
@@ -231,6 +244,24 @@ TEST(LintUnit, DefaultWhitelistExemptsEventQueueAlloc)
         lintContent("src/comm/comm_group.cc", src, Options{});
     ASSERT_EQ(findings.size(), 1u);
     EXPECT_EQ(ruleName(findings[0].rule), std::string("event-alloc"));
+}
+
+TEST(LintUnit, ChunkAllocAppliesOnlyUnderCommPaths)
+{
+    // A per-iteration vector is ordinary C++ in most of the tree;
+    // only the collective-construction hot path bans it.
+    const std::string src =
+        "void f(unsigned n) {\n"
+        "    for (unsigned i = 0; i < n; ++i) {\n"
+        "        std::vector<int> deps = {1, 2};\n"
+        "        (void)deps;\n"
+        "    }\n"
+        "}\n";
+    const auto findings =
+        lintContent("src/comm/comm_group.cc", src, Options{});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(ruleName(findings[0].rule), std::string("chunk-alloc"));
+    EXPECT_TRUE(lintContent("src/mem/hbm_stack.cc", src, Options{}).empty());
 }
 
 TEST(LintUnit, CrossFileUnorderedDeclIsSeen)

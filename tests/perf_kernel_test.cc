@@ -95,3 +95,37 @@ TEST(PerfKernel, QuickJsonDeterministicModuloWall)
     EXPECT_EQ(deterministicLines(a), deterministicLines(b))
         << "benchmark JSON differs beyond the wall-valued fields";
 }
+
+TEST(PerfKernel, FabricBenchCountersMatchGoldens)
+{
+    // Pin the fabric-bound benches' deterministic counters to golden
+    // values. Run-to-run determinism (the test above) would not
+    // catch a systematic timing change — e.g. a fast-path rewrite
+    // that silently alters occupancy completion ticks or the chunk
+    // DAG. These values encode the exact simulated schedule; a
+    // legitimate model change must update them consciously,
+    // alongside BENCH_kernel.json.
+    const std::string doc = runQuick("perf_kernel_golden.json");
+    const struct
+    {
+        const char *key;
+        const char *value;
+    } goldens[] = {
+        // comm_allreduce_octo, quick: 1 iteration of 16 MiB ring +
+        // direct all-reduce over the octo node, 1 MiB chunks.
+        {"events_processed", "448"},
+        {"final_tick", "491550000"},
+        {"link_bytes", "469762048"},
+        // fault_storm, quick: seeded fault plan over the quad node.
+        {"events_processed", "241"},
+        {"final_tick", "1157326000"},
+        {"chunk_retries", "15"},
+        {"faults_injected", "17"},
+    };
+    for (const auto &g : goldens) {
+        const std::string needle =
+            std::string("\"") + g.key + "\": " + g.value;
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "golden counter not found: " << needle;
+    }
+}

@@ -765,6 +765,96 @@ checkFloatArith(const FileLintState &st)
 }
 
 void
+checkChunkAlloc(const FileLintState &st)
+{
+    const std::string &code = st.code;
+    // Collect the body extent of every for/while loop.
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    for (const char *kw : {"for", "while"}) {
+        std::size_t p = 0;
+        while ((p = findWord(code, kw, p)) != std::string::npos) {
+            p += std::string(kw).size();
+            std::size_t i = skipSpace(code, p);
+            if (i >= code.size() || code[i] != '(')
+                continue;
+            int depth = 0;
+            std::size_t j = i;
+            for (; j < code.size(); ++j) {
+                if (code[j] == '(') {
+                    ++depth;
+                } else if (code[j] == ')') {
+                    if (--depth == 0)
+                        break;
+                }
+            }
+            if (j >= code.size())
+                continue;
+            const std::size_t b = skipSpace(code, j + 1);
+            if (b >= code.size() || code[b] != '{')
+                continue;
+            int bd = 0;
+            std::size_t e = b;
+            for (; e < code.size(); ++e) {
+                if (code[e] == '{') {
+                    ++bd;
+                } else if (code[e] == '}') {
+                    if (--bd == 0)
+                        break;
+                }
+            }
+            if (e < code.size())
+                bodies.emplace_back(b, e);
+        }
+    }
+    if (bodies.empty())
+        return;
+    // By-value `vector<...> name` declarations inside a body: one
+    // heap allocation (or more) per loop iteration. References,
+    // pointers, and non-declaration uses are fine.
+    std::size_t q = 0;
+    while ((q = findWord(code, "vector", q)) != std::string::npos) {
+        const std::size_t at = q;
+        q += std::string("vector").size();
+        bool in_loop = false;
+        for (const auto &[b, e] : bodies) {
+            if (at > b && at < e) {
+                in_loop = true;
+                break;
+            }
+        }
+        if (!in_loop)
+            continue;
+        std::size_t k = skipSpace(code, q);
+        if (k >= code.size() || code[k] != '<')
+            continue;
+        k = skipAngles(code, k);
+        if (k == std::string::npos)
+            continue;
+        k = skipSpace(code, k);
+        if (k < code.size() && (code[k] == '*' || code[k] == '&'))
+            continue;       // no per-iteration buffer
+        const std::string name = readQualifiedIdent(code, k);
+        if (name.empty() || name.find("::") != std::string::npos)
+            continue;
+        // Declarations end in `= ... ;`, `;`, `(...)`, or `{...}`;
+        // anything else ("vector<T>::iterator", a template argument)
+        // is not a construction.
+        const std::size_t after = skipSpace(code, k + name.size());
+        if (after >= code.size())
+            continue;
+        const char c = code[after];
+        if (c != '=' && c != ';' && c != '(' && c != '{')
+            continue;
+        st.report(Rule::chunkAlloc, at,
+                  "std::vector '" + name +
+                      "' constructed inside a loop body — collective "
+                      "construction is the per-chunk hot path; use a "
+                      "closed-form count (ChunkSpan) or a reused "
+                      "scratch member (DESIGN.md §12)");
+    }
+}
+
+void
 lintOne(const std::string &file, const std::string &content,
         const RunContext &ctx, const Options &opts,
         std::vector<Finding> &findings)
@@ -793,6 +883,10 @@ lintOne(const std::string &file, const std::string &content,
             pathContains(file, "sim/event_queue")) {
             return false;
         }
+        // Per-iteration vectors are ordinary C++ almost everywhere;
+        // only the collective-construction hot path bans them.
+        if (r == Rule::chunkAlloc && !pathContains(file, "comm/"))
+            return false;
         return true;
     };
 
@@ -810,6 +904,8 @@ lintOne(const std::string &file, const std::string &content,
         checkDupStat(st);
     if (enabled(Rule::floatArith))
         checkFloatArith(st);
+    if (enabled(Rule::chunkAlloc))
+        checkChunkAlloc(st);
 }
 
 bool
@@ -844,6 +940,8 @@ ruleName(Rule r)
         return "dup-stat";
       case Rule::floatArith:
         return "float-arith";
+      case Rule::chunkAlloc:
+        return "chunk-alloc";
     }
     return "unknown";
 }
@@ -866,7 +964,7 @@ allRules()
     static const std::vector<Rule> rules = {
         Rule::wallClock,  Rule::rawRand, Rule::unorderedIter,
         Rule::eventNew,   Rule::eventAlloc,
-        Rule::dupStat,    Rule::floatArith,
+        Rule::dupStat,    Rule::floatArith, Rule::chunkAlloc,
     };
     return rules;
 }
@@ -900,6 +998,11 @@ ruleRationale(Rule r)
       case Rule::floatArith:
         return "time/bandwidth/energy math uses double; float "
                "rounding breaks tick arithmetic";
+      case Rule::chunkAlloc:
+        return "collective construction runs per chunk; a "
+               "std::vector built inside a loop allocates every "
+               "iteration — use closed-form counts or reused "
+               "scratch buffers (applies to comm/ paths)";
     }
     return "";
 }

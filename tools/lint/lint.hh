@@ -18,6 +18,10 @@
  *                   new LambdaEvent / scheduleLambda(capturing)
  *   dup-stat        a stat name registers at most once per group
  *   float-arith     no float in simulation arithmetic (use double)
+ *   chunk-alloc     no per-iteration std::vector construction in
+ *                   collective-construction loops (src/comm); the
+ *                   chunk DAG builders are a per-chunk hot path and
+ *                   use closed-form counts or reused scratch buffers
  *
  * Findings can be suppressed with a comment on the same or the
  * preceding line:
@@ -59,6 +63,7 @@ enum class Rule
     eventAlloc,
     dupStat,
     floatArith,
+    chunkAlloc,
 };
 
 /** The stable name used in output lines and allow() directives. */
