@@ -29,6 +29,7 @@
 #include "core/roofline.hh"
 #include "soc/node_topology.hh"
 #include "workloads/generators.hh"
+#include "workloads/llm_stack.hh"
 
 using namespace ehpsim;
 using namespace ehpsim::core;
@@ -37,30 +38,13 @@ using namespace ehpsim::workloads;
 namespace
 {
 
-/**
- * Sustained fraction of peak (math and bandwidth) per software
- * stack. vLLM's kernels are well tuned for MI300X (AMD's launch
- * stack) but generic on the baseline; TensorRT-LLM is the
- * vendor-optimized stack for the baseline GPU; its FP8 path trades
- * some efficiency for the halved footprint.
- */
-struct Stack
-{
-    const char *name;
-    double efficiency;
-    gpu::DataType dtype;
-};
-
-// Efficiencies: vLLM was AMD's launch stack on MI300X (well tuned
-// there, generic on the baseline); TensorRT-LLM is the baseline
-// vendor's heavily optimized stack; its FP8 path gives up sustained
-// efficiency for the halved footprint (quantize / dequantize
-// epilogues, less mature kernels).
-constexpr Stack vllmMi300x = {"vLLM", 0.70, gpu::DataType::fp16};
-constexpr Stack vllmBase = {"vLLM", 0.40, gpu::DataType::fp16};
-constexpr Stack trtBase = {"TensorRT-LLM", 0.80, gpu::DataType::fp16};
-constexpr Stack trtFp8Base = {"TensorRT-LLM-FP8", 0.45,
-                              gpu::DataType::fp8};
+// The software-stack efficiency table lives in
+// workloads/llm_stack.hh, shared with the serving subsystem
+// (bench/serving_llm.cc) so both replay the same Fig. 21 stacks.
+constexpr SoftwareStack vllmMi300x = vllmMi300xStack;
+constexpr SoftwareStack vllmBase = vllmBaselineStack;
+constexpr SoftwareStack trtBase = trtllmBaselineStack;
+constexpr SoftwareStack trtFp8Base = trtllmFp8BaselineStack;
 
 // Llama-2 70B shapes for the tensor-parallel communication model.
 constexpr unsigned llamaLayers = 80;
@@ -73,7 +57,7 @@ constexpr unsigned allReducesPerLayer = 2;
 constexpr double prefillOverlap = 0.5;
 
 double
-inferenceLatency(const MachineModel &machine, const Stack &stack)
+inferenceLatency(const MachineModel &machine, const SoftwareStack &stack)
 {
     LlmConfig cfg;
     cfg.dtype = stack.dtype;
@@ -91,7 +75,7 @@ inferenceLatency(const MachineModel &machine, const Stack &stack)
 
 /** One single-device latency configuration. */
 void
-latencyCase(const MachineModel &machine, const Stack &stack,
+latencyCase(const MachineModel &machine, const SoftwareStack &stack,
             const std::string &label, bench::RowSink &sink)
 {
     sink.row("latency", label, inferenceLatency(machine, stack) * 1e3,

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Cluster-scale LLM serving under load and faults (paper Sec. VII,
+ * the Fig. 21 capacity story taken from batch-1 latency to a full
+ * serving system).
+ *
+ * Every case replays a seeded open-loop arrival trace through the
+ * src/serve engine: continuous batching, a paged KV cache sized by
+ * device memory minus weights, and — for TP > 1 — real all-reduces
+ * over the Fig. 18b octo node's IF links. Reported per case: TTFT
+ * and TPOT p50/p95, tokens/s, SLO attainment, queue depth, KV
+ * occupancy, and eviction counters.
+ *
+ * The headline shape: at an offered load where the 192 GB MI300X
+ * still meets its SLOs with zero KV evictions, the 80 GB-class
+ * baseline (serving FP8 to even fit the weights) runs out of KV
+ * capacity — evictions, admission stalls, and collapsed SLO
+ * attainment. A faulted TP-4 variant (chunk errors + a link kill +
+ * HBM channel blackouts) degrades tail latency measurably but
+ * completes every request.
+ *
+ * Sweep-shaped: each scenario is an independent SweepCase
+ * (--jobs N, --json FILE).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "fault/fault_plan.hh"
+#include "serve/scenario.hh"
+
+using namespace ehpsim;
+using namespace ehpsim::serve;
+
+namespace
+{
+
+constexpr std::uint64_t kSeed = 42;
+
+/** Emit one scenario's summary metrics as rows keyed by @p label. */
+void
+servingCase(const ScenarioParams &p, const std::string &label,
+            bench::RowSink &sink)
+{
+    const ScenarioResult r = runServingScenario(p);
+    sink.row("ttft_p50", label, r.ttft_p50_s, "s");
+    sink.row("ttft_p95", label, r.ttft_p95_s, "s");
+    sink.row("tpot_p50", label, r.tpot_p50_s * 1e3, "ms");
+    sink.row("tpot_p95", label, r.tpot_p95_s * 1e3, "ms");
+    sink.row("tokens_per_s", label, r.tokens_per_s, "tokens/s");
+    sink.row("slo_attainment", label, r.slo_attainment, "fraction");
+    sink.row("mean_queue_depth", label, r.mean_queue_depth,
+             "requests");
+    sink.row("kv_peak_occupancy", label, r.kv_peak_occupancy,
+             "fraction");
+    sink.row("evictions", label, static_cast<double>(r.evictions),
+             "sequences");
+    sink.row("recompute_tokens", label,
+             static_cast<double>(r.recompute_tokens), "tokens");
+    sink.row("chunk_retries", label,
+             static_cast<double>(r.chunk_retries), "retries");
+    sink.row("channels_dark", label,
+             static_cast<double>(r.channels_dark), "channels");
+    sink.row("completed", label, static_cast<double>(r.completed),
+             "requests");
+}
+
+/** The capacity sweep's shared request mix: RAG-style long prompts,
+ *  so resident KV — not compute — is the binding resource. Each
+ *  admission pins ~185 KV blocks of prompt context: the 80 GB
+ *  baseline's ~4.4k-block pool seats only ~23 requests while the
+ *  MI300X's ~10.7k blocks seat every one in flight. The 768-token
+ *  iteration budget keeps prefill-full iterations short enough that
+ *  concurrent decoders hold their TPOT SLO. */
+ScenarioParams
+capacityParams(const std::string &device, double load_rps)
+{
+    ScenarioParams p;
+    p.device = device;
+    p.tp = 1;
+    p.load_rps = load_rps;
+    p.num_requests = 48;
+    p.input_tokens = 2944;
+    p.output_tokens = 384;
+    p.token_budget = 768;
+    p.seed = kSeed;
+    return p;
+}
+
+ScenarioParams
+tpParams(unsigned tp)
+{
+    ScenarioParams p;
+    p.tp = tp;
+    p.load_rps = 2.0;
+    p.num_requests = 24;
+    p.input_tokens = 1024;
+    p.output_tokens = 256;
+    p.seed = kSeed;
+    return p;
+}
+
+ScenarioParams
+faultSweepParams(bool faulted)
+{
+    ScenarioParams p = tpParams(4);
+    p.load_rps = 1.5;
+    if (faulted) {
+        p.faults.seed = kSeed;
+        p.faults.chunk_error_rate = 0.02;
+        p.faults.link_faults.push_back(
+            fault::parseLinkFault("mi300x0:mi300x1@2000000000000"));
+        p.faults.channel_faults.push_back(
+            fault::ChannelFault{3, 3'000'000'000'000});
+        p.faults.channel_faults.push_back(
+            fault::ChannelFault{21, 3'000'000'000'000});
+    }
+    return p;
+}
+
+void
+report(const bench::SweepArgs &args)
+{
+    bench::printHeader(
+        "serving", "Llama-2 70B continuous-batching serving: "
+                   "TTFT/TPOT vs offered load, capacity, TP, faults");
+
+    std::vector<bench::SweepCase> cases;
+
+    // Capacity story: 192 GB vs 80 GB under rising offered load.
+    const std::vector<std::pair<const char *, double>> loads = {
+        {"load0.15", 0.15}, {"load0.6", 0.6}, {"load1.2", 1.2}};
+    for (const char *device : {"mi300x", "baseline"}) {
+        for (const auto &[tag, rps] : loads) {
+            const std::string label =
+                std::string(device) + "_" + tag;
+            const ScenarioParams p = capacityParams(device, rps);
+            cases.push_back({label, [p, label](bench::RowSink &s) {
+                                 servingCase(p, label, s);
+                             }});
+        }
+    }
+
+    // Tensor parallelism: decode all-reduces on the octo node.
+    for (const unsigned tp : {2u, 4u, 8u}) {
+        const std::string label = "mi300x_tp" + std::to_string(tp);
+        const ScenarioParams p = tpParams(tp);
+        cases.push_back({label, [p, label](bench::RowSink &s) {
+                             servingCase(p, label, s);
+                         }});
+    }
+
+    // Bursty (MMPP) arrivals vs the Poisson baseline at equal mean
+    // load.
+    {
+        ScenarioParams p = capacityParams("mi300x", 1.5);
+        p.bursty = true;
+        cases.push_back({"mi300x_burst1.5",
+                         [p](bench::RowSink &s) {
+                             servingCase(p, "mi300x_burst1.5", s);
+                         }});
+    }
+
+    // Fault-injected TP-4 serving vs its clean twin.
+    for (const bool faulted : {false, true}) {
+        const std::string label =
+            faulted ? "mi300x_tp4_faults" : "mi300x_tp4_clean";
+        const ScenarioParams p = faultSweepParams(faulted);
+        cases.push_back({label, [p, label](bench::RowSink &s) {
+                             servingCase(p, label, s);
+                         }});
+    }
+
+    const auto outcomes = bench::runCases("serving", cases, args);
+
+    const double mi_slo =
+        bench::findRow(outcomes, "slo_attainment", "mi300x_load1.2");
+    const double mi_evict =
+        bench::findRow(outcomes, "evictions", "mi300x_load1.2", -1);
+    const double base_slo = bench::findRow(
+        outcomes, "slo_attainment", "baseline_load1.2", 1.0);
+    const double base_evict =
+        bench::findRow(outcomes, "evictions", "baseline_load1.2");
+    const double base_light_slo = bench::findRow(
+        outcomes, "slo_attainment", "baseline_load0.15");
+    const double tp2_tput =
+        bench::findRow(outcomes, "tokens_per_s", "mi300x_tp2");
+    const double tp8_tput =
+        bench::findRow(outcomes, "tokens_per_s", "mi300x_tp8");
+    const double clean_p95 = bench::findRow(
+        outcomes, "ttft_p95", "mi300x_tp4_clean", -1);
+    const double fault_p95 =
+        bench::findRow(outcomes, "ttft_p95", "mi300x_tp4_faults");
+    const double fault_retries = bench::findRow(
+        outcomes, "chunk_retries", "mi300x_tp4_faults");
+    const double fault_dark = bench::findRow(
+        outcomes, "channels_dark", "mi300x_tp4_faults");
+    const double fault_done = bench::findRow(
+        outcomes, "completed", "mi300x_tp4_faults");
+
+    const bool capacity_ok =
+        mi_slo > 0.9 && mi_evict == 0.0 && base_evict > 0.0 &&
+        base_slo < 0.7 && base_light_slo > 0.9;
+    const bool tp_ok = tp8_tput > tp2_tput;
+    const bool fault_ok = fault_p95 > clean_p95 &&
+                          fault_retries > 0.0 && fault_dark == 2.0 &&
+                          fault_done == 24.0;
+
+    bench::shapeCheck(
+        "serving", capacity_ok && tp_ok && fault_ok,
+        "at a load where 192 GB MI300X meets SLOs with zero KV "
+        "evictions, the 80 GB baseline thrashes its KV cache and "
+        "misses them (while fine at light load); TP raises "
+        "throughput; injected faults stretch tail TTFT with nonzero "
+        "retries and dark channels yet every request completes");
+}
+
+void
+BM_ServingScenario(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ScenarioParams p;
+        p.num_requests = 4;
+        p.input_tokens = 128;
+        p.output_tokens = 16;
+        p.load_rps = 4.0;
+        const auto r = runServingScenario(p);
+        benchmark::DoNotOptimize(r.completed);
+    }
+}
+BENCHMARK(BM_ServingScenario);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto sweep_args = bench::parseSweepArgs(argc, argv);
+    report(sweep_args);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -25,6 +25,13 @@
  *              [--kill a:b@tick[*factor]] [--max-retries N]
  *              [--retry-timeout TICKS] [--jobs N] [--json FILE]
  *
+ *   ehpsim_cli serve [--devices mi300x,baseline] [--loads 0.25,1.0]
+ *              [--tp 1|2|4|8] [--requests N] [--input-tokens N]
+ *              [--output-tokens N] [--seed N] [--bursty]
+ *              [--token-budget N] [--max-batch N] [--kv-blocks N]
+ *              [--error-rate R] [--kill a:b@tick[*factor]]
+ *              [--blackout ch@tick] [--jobs N] [--json FILE]
+ *
  * The sweep subcommand runs the products x workloads cross product
  * as independent jobs on a sweep::SweepRunner worker pool and emits
  * an ehpsim-sweep-v1 JSON document (stdout, or FILE with --json).
@@ -42,6 +49,15 @@
  * retry/reroute counters; same seed means byte-identical JSON for
  * any --jobs value.
  *
+ * The serve subcommand replays a seeded open-loop LLM serving trace
+ * (Poisson, or MMPP with --bursty) through the src/serve continuous
+ * batcher for every (device, load) grid point: paged KV cache sized
+ * by device memory minus weights, TP decode all-reduces on the
+ * Fig. 18b octo node, and — with --error-rate / --kill /
+ * --blackout — the fault injector degrading service mid-run. Each
+ * job reports TTFT/TPOT percentiles, tokens/s, SLO attainment, and
+ * the KV eviction/retry counters.
+ *
  * Examples:
  *   ehpsim_cli --product mi300a --workload cfd --engine roofline
  *   ehpsim_cli --product mi300x --workload triad --partitions 8
@@ -51,6 +67,10 @@
  *       --algos ring,direct --sizes 1M,64M,256M --jobs 8
  *   ehpsim_cli fault --topology octo --rates 0,0.02 \
  *       --kill mi300x0:mi300x1@50000000 --jobs 8
+ *   ehpsim_cli serve --devices mi300x,baseline --loads 0.25,1.0 \
+ *       --requests 32 --jobs 8 --json serve.json
+ *   ehpsim_cli serve --tp 4 --loads 1.5 --error-rate 0.02 \
+ *       --kill mi300x0:mi300x1@2000000000000 --blackout 3@3000000000000
  */
 
 #include <cstdio>
@@ -69,6 +89,7 @@
 #include "core/machine_model.hh"
 #include "core/roofline.hh"
 #include "core/trace.hh"
+#include "serve/scenario.hh"
 #include "sim/logging.hh"
 #include "soc/node_topology.hh"
 #include "sweep/sweep_runner.hh"
@@ -118,8 +139,18 @@ usage(const char *argv0)
                  "          [--kill a:b@tick[*factor]] "
                  "[--max-retries N]\n"
                  "          [--retry-timeout TICKS] [--jobs N] "
+                 "[--json FILE]\n"
+                 "       %s serve [--devices a,b] [--loads r,s,...] "
+                 "[--tp N]\n"
+                 "          [--requests N] [--input-tokens N] "
+                 "[--output-tokens N]\n"
+                 "          [--seed N] [--bursty] [--token-budget N] "
+                 "[--max-batch N]\n"
+                 "          [--kv-blocks N] [--error-rate R] "
+                 "[--kill a:b@tick[*factor]]\n"
+                 "          [--blackout ch@tick] [--jobs N] "
                  "[--json FILE]\n",
-                 argv0, argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -730,6 +761,130 @@ faultMain(int argc, char **argv)
     return failures == 0 ? 0 : 1;
 }
 
+/** Parse "ch@tick" into a scheduled HBM channel blackout. */
+fault::ChannelFault
+parseChannelFault(const std::string &spec)
+{
+    const auto at = spec.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= spec.size())
+        fatal("bad blackout spec '", spec, "' (want ch@tick)");
+    fault::ChannelFault f;
+    f.channel = std::stoul(spec.substr(0, at));
+    f.at = std::stoull(spec.substr(at + 1));
+    return f;
+}
+
+int
+serveMain(int argc, char **argv)
+{
+    std::vector<std::string> devices = {"mi300x", "baseline"};
+    std::vector<std::string> loads = {"0.25", "1.0"};
+    serve::ScenarioParams base;
+    std::string json_path;
+    unsigned jobs = 1;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--devices")
+            devices = splitList(next());
+        else if (arg == "--loads")
+            loads = splitList(next());
+        else if (arg == "--tp")
+            base.tp = std::stoul(next());
+        else if (arg == "--requests")
+            base.num_requests = std::stoul(next());
+        else if (arg == "--input-tokens")
+            base.input_tokens = std::stoul(next());
+        else if (arg == "--output-tokens")
+            base.output_tokens = std::stoul(next());
+        else if (arg == "--seed")
+            base.seed = std::stoull(next());
+        else if (arg == "--bursty")
+            base.bursty = true;
+        else if (arg == "--token-budget")
+            base.token_budget = std::stoul(next());
+        else if (arg == "--max-batch")
+            base.max_batch = std::stoul(next());
+        else if (arg == "--kv-blocks")
+            base.kv_blocks_override = std::stoull(next());
+        else if (arg == "--error-rate")
+            base.faults.chunk_error_rate = std::stod(next());
+        else if (arg == "--kill")
+            base.faults.link_faults.push_back(
+                fault::parseLinkFault(next()));
+        else if (arg == "--blackout")
+            base.faults.channel_faults.push_back(
+                parseChannelFault(next()));
+        else if (arg == "--jobs")
+            jobs = std::stoul(next());
+        else if (arg == "--json")
+            json_path = next();
+        else
+            usage(argv[0]);
+    }
+    if (devices.empty() || loads.empty() || jobs == 0)
+        usage(argv[0]);
+    base.faults.seed = base.seed;
+    base.faults.validate();
+
+    sweep::SweepRunner runner(jobs);
+    for (const auto &device : devices) {
+        for (const auto &load : loads) {
+            serve::ScenarioParams p = base;
+            p.device = device;
+            p.load_rps = std::stod(load);
+            runner.addJob(device + "/load" + load,
+                          [p](json::JsonWriter &jw) {
+                              const auto r =
+                                  serve::runServingScenario(p);
+                              serve::dumpScenario(jw, p, r);
+                          });
+        }
+    }
+
+    const auto results = runner.run();
+
+    std::fprintf(stderr,
+                 "serve: %zu jobs on %u workers, %.3f s of job time\n",
+                 results.size(), runner.workers(),
+                 sweep::SweepRunner::totalJobSeconds(results));
+    int failures = 0;
+    for (const auto &res : results) {
+        if (!res.ok) {
+            ++failures;
+            std::fprintf(stderr, "serve: job %zu (%s) failed: %s\n",
+                         res.index, res.name.c_str(),
+                         res.error.c_str());
+        }
+    }
+
+    if (json_path.empty()) {
+        sweep::SweepRunner::dumpJson(std::cout, "ehpsim_cli_serve",
+                                     results);
+    } else {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "serve: cannot open %s for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        sweep::SweepRunner::dumpJson(out, "ehpsim_cli_serve", results);
+        if (!out.flush()) {
+            std::fprintf(stderr, "serve: error writing %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "serve: JSON written to %s\n",
+                     json_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -741,6 +896,8 @@ main(int argc, char **argv)
         return commMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "fault") == 0)
         return faultMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return serveMain(argc, argv);
 
     const Options opt = parseArgs(argc, argv);
     const auto workload = workloadFor(opt.workload, opt.scale);

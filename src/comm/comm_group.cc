@@ -531,6 +531,11 @@ CommGroup::start(Tick when, OpHandle op)
     // (every task scheduled at once, e.g. a dependency-free direct
     // schedule) so the burst below never grows it incrementally.
     eventq()->reserve(eventq()->size() + op->tasks_.size());
+    // Retire finished handles here as well as in waitAll(), so
+    // event-driven callers that never block (the serving engine)
+    // keep outstanding_ bounded by the ops actually in flight.
+    std::erase_if(outstanding_,
+                  [](const OpHandle &o) { return o->done(); });
     outstanding_.push_back(op);
     for (std::uint32_t i = 0; i < op->tasks_.size(); ++i) {
         if (op->tasks_[i].deps == 0)
@@ -620,6 +625,24 @@ CommGroup::completeOp(CollectiveOp &op)
     last_finish_ = std::max(last_finish_, op.finish_);
     if (op.finish_ > op.start_)
         algo_bw_gbps.sample(op.algoBandwidth() / 1e9);
+    if (op.on_complete_) {
+        // Clear before invoking: the callback may retire the handle.
+        auto fn = std::move(op.on_complete_);
+        op.on_complete_ = nullptr;
+        fn(op.finish_);
+    }
+}
+
+void
+CollectiveOp::setOnComplete(std::function<void(Tick)> fn)
+{
+    if (on_complete_)
+        panic("CollectiveOp already has a completion callback");
+    if (done()) {
+        fn(finish_);
+        return;
+    }
+    on_complete_ = std::move(fn);
 }
 
 OpHandle

@@ -125,6 +125,16 @@ class CollectiveOp
      */
     double algoBandwidth() const;
 
+    /**
+     * Invoke @p fn with the finish tick exactly once when the op
+     * completes. Fires immediately (from this call) if the op is
+     * already done; otherwise it fires from within event processing
+     * when the last chunk lands, so event-driven callers (the
+     * serving engine) can chain work off a collective without
+     * blocking in waitAll(). At most one callback per op.
+     */
+    void setOnComplete(std::function<void(Tick)> fn);
+
   private:
     friend class CommGroup;
 
@@ -150,6 +160,7 @@ class CollectiveOp
     Tick start_ = 0;
     Tick finish_ = 0;
     std::size_t pending_ = 0;
+    std::function<void(Tick)> on_complete_;
     std::vector<Task> tasks_;
     /**
      * Dependent edges in CSR form: task i's dependents occupy

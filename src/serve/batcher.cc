@@ -1,0 +1,164 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+ContinuousBatcher::ContinuousBatcher(SimObject *parent,
+                                     const std::string &name,
+                                     const Params &p,
+                                     std::vector<Request> *requests,
+                                     KvCacheManager *kv)
+    : SimObject(parent, name),
+      params_(p),
+      requests_(requests),
+      kv_(kv),
+      admitted_(this, "admitted", "requests admitted into the batch"),
+      evictions_(this, "evictions",
+                 "sequences evicted under KV pressure"),
+      recompute_tokens_(this, "recompute_tokens",
+                        "context tokens recomputed after eviction"),
+      admission_stalls_(this, "admission_stalls",
+                        "iterations the queue head could not reserve "
+                        "KV blocks")
+{
+    if (params_.token_budget == 0 || params_.max_batch == 0)
+        fatal("batcher: token_budget/max_batch must be nonzero");
+}
+
+void
+ContinuousBatcher::enqueue(std::uint64_t idx)
+{
+    waiting_.push_back(idx);
+}
+
+std::uint64_t
+ContinuousBatcher::preemptLatest()
+{
+    if (running_.empty())
+        panic("batcher: eviction with no resident sequences");
+    const std::uint64_t victim = running_.back();
+    running_.pop_back();
+    Request &v = (*requests_)[victim];
+    kv_->release(v.kv_blocks);
+    recompute_tokens_ += static_cast<double>(v.kv_tokens);
+    ++evictions_;
+    ++v.preemptions;
+    v.kv_blocks = 0;
+    v.kv_tokens = 0;
+    v.prefill_done = 0;
+    v.state = RequestState::waiting;
+    waiting_.push_front(victim);
+    return victim;
+}
+
+void
+ContinuousBatcher::preemptUntilFits()
+{
+    while (kv_->overCommitted())
+        preemptLatest();
+}
+
+IterationPlan
+ContinuousBatcher::buildPlan()
+{
+    IterationPlan plan;
+    unsigned budget = params_.token_budget;
+
+    // Phase 1: one decode token per running decode sequence, in
+    // admission order. Crossing a block boundary reserves a block;
+    // when the pool is exhausted the latest-admitted sequence is
+    // evicted to make room (possibly this one, which then skips).
+    for (std::size_t i = 0; i < running_.size() && budget > 0;) {
+        const std::uint64_t idx = running_[i];
+        Request &r = (*requests_)[idx];
+        if (r.state != RequestState::decode) {
+            ++i;
+            continue;
+        }
+        const std::uint64_t covered =
+            r.kv_blocks * kv_->blockTokens();
+        if (r.kv_tokens + 1 > covered) {
+            bool evicted_self = false;
+            while (!kv_->tryReserve(1)) {
+                if (preemptLatest() == idx) {
+                    evicted_self = true;
+                    break;
+                }
+            }
+            if (evicted_self)
+                continue;  // running_[i] is now a different entry
+            r.kv_blocks += 1;
+        }
+        plan.decode.push_back(idx);
+        plan.context_tokens += r.kv_tokens;
+        --budget;
+        ++i;
+    }
+
+    // Phase 2: continue chunked prefill of resident sequences.
+    for (const std::uint64_t idx : running_) {
+        if (budget == 0)
+            break;
+        Request &r = (*requests_)[idx];
+        if (r.state != RequestState::prefill)
+            continue;
+        const unsigned remaining = r.prefillTarget() - r.prefill_done;
+        const unsigned chunk = std::min(budget, remaining);
+        plan.prefill.emplace_back(idx, chunk);
+        plan.context_tokens += r.prefill_done;
+        budget -= chunk;
+    }
+
+    // Phase 3: admit from the queue head. Admission reserves the
+    // sequence's full context (plus its first generated token) up
+    // front; a failed reservation stalls the whole queue — later
+    // arrivals never jump an earlier one.
+    while (budget > 0 && !waiting_.empty()
+           && running_.size() < params_.max_batch) {
+        const std::uint64_t idx = waiting_.front();
+        Request &r = (*requests_)[idx];
+        const std::uint64_t blocks =
+            kv_->blocksForTokens(r.prefillTarget() + 1);
+        if (blocks > kv_->totalBlocks()) {
+            fatal("batcher: request ", r.id, " needs ", blocks,
+                  " KV blocks but the pool holds only ",
+                  kv_->totalBlocks());
+        }
+        if (!kv_->tryReserve(blocks)) {
+            ++admission_stalls_;
+            break;
+        }
+        waiting_.pop_front();
+        r.state = RequestState::prefill;
+        r.kv_blocks = blocks;
+        running_.push_back(idx);
+        ++admitted_;
+        const unsigned chunk = std::min(budget, r.prefillTarget());
+        plan.prefill.emplace_back(idx, chunk);
+        budget -= chunk;
+    }
+
+    return plan;
+}
+
+void
+ContinuousBatcher::finish(std::uint64_t idx)
+{
+    auto it = std::find(running_.begin(), running_.end(), idx);
+    if (it == running_.end())
+        panic("batcher: finishing non-resident request ", idx);
+    running_.erase(it);
+    Request &r = (*requests_)[idx];
+    kv_->release(r.kv_blocks);
+    r.kv_blocks = 0;
+    r.kv_tokens = 0;
+}
+
+} // namespace serve
+} // namespace ehpsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Continuous (iteration-level) batching over the KV block pool.
+ *
+ * Orca/vLLM-style scheduling: every iteration the batcher assembles a
+ * fresh plan of decode steps (one token per running decode sequence)
+ * and prefill chunks (prompt tokens packed into the remaining token
+ * budget), admitting new requests from the FIFO queue while KV blocks
+ * and batch slots last. Under KV pressure the latest-admitted
+ * sequence is evicted — its blocks freed, its context re-prefetched
+ * from scratch on re-admission (preemption with recompute) — so
+ * earlier arrivals are never starved by later ones.
+ *
+ * All policy here is deterministic: FIFO admission, LIFO eviction,
+ * no randomness, no wall-clock, no unordered containers.
+ */
+
+#ifndef EHPSIM_SERVE_BATCHER_HH
+#define EHPSIM_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/kv_cache.hh"
+#include "serve/request.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+/** One iteration's worth of work, in deterministic order. */
+struct IterationPlan
+{
+    /** Requests generating one token each (admission order). */
+    std::vector<std::uint64_t> decode;
+    /** (request, chunk tokens) prefill slices (admission order). */
+    std::vector<std::pair<std::uint64_t, unsigned>> prefill;
+    /** KV context tokens read by attention this iteration. */
+    std::uint64_t context_tokens = 0;
+
+    unsigned tokens() const
+    {
+        unsigned t = static_cast<unsigned>(decode.size());
+        for (const auto &[idx, chunk] : prefill)
+            t += chunk;
+        return t;
+    }
+
+    bool empty() const { return decode.empty() && prefill.empty(); }
+};
+
+class ContinuousBatcher : public SimObject
+{
+  public:
+    struct Params
+    {
+        unsigned token_budget = 2048;
+        unsigned max_batch = 64;
+    };
+
+    /** @p requests and @p kv are owned by the engine (not copied). */
+    ContinuousBatcher(SimObject *parent, const std::string &name,
+                      const Params &p, std::vector<Request> *requests,
+                      KvCacheManager *kv);
+
+    /** A request arrived; join the admission queue. */
+    void enqueue(std::uint64_t idx);
+
+    /**
+     * Build the next iteration's plan. Mutates scheduling state: may
+     * reserve KV blocks for decode growth and admissions, and may
+     * evict sequences when reservations fail.
+     */
+    IterationPlan buildPlan();
+
+    /** A running request emitted its last token; free its residency. */
+    void finish(std::uint64_t idx);
+
+    /**
+     * Evict latest-admitted sequences until the (possibly shrunken)
+     * KV pool is no longer over-committed.
+     */
+    void preemptUntilFits();
+
+    std::size_t waitingDepth() const { return waiting_.size(); }
+
+    std::size_t runningCount() const { return running_.size(); }
+
+    bool idle() const { return waiting_.empty() && running_.empty(); }
+
+    std::uint64_t evictions() const
+    {
+        return static_cast<std::uint64_t>(evictions_.value());
+    }
+
+    std::uint64_t recomputeTokens() const
+    {
+        return static_cast<std::uint64_t>(recompute_tokens_.value());
+    }
+
+  private:
+    /** Evict the latest-admitted running sequence; @return it. */
+    std::uint64_t preemptLatest();
+
+    Params params_;
+    std::vector<Request> *requests_;
+    KvCacheManager *kv_;
+
+    /** FIFO admission queue; evicted sequences re-enter at the
+     *  FRONT so earlier arrivals keep priority. */
+    std::deque<std::uint64_t> waiting_;
+    /** Resident sequences in admission order (eviction pops the
+     *  back). */
+    std::vector<std::uint64_t> running_;
+
+    stats::Scalar admitted_;
+    stats::Scalar evictions_;
+    stats::Scalar recompute_tokens_;
+    stats::Scalar admission_stalls_;
+};
+
+} // namespace serve
+} // namespace ehpsim
+
+#endif // EHPSIM_SERVE_BATCHER_HH

@@ -1,0 +1,75 @@
+#include "serve/kv_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+KvCacheManager::KvCacheManager(SimObject *parent,
+                               const std::string &name, const Params &p)
+    : SimObject(parent, name),
+      total_(p.total_blocks),
+      block_tokens_(p.block_tokens),
+      reserve_failures_(this, "reserve_failures",
+                        "block reservations denied for lack of space"),
+      blocks_reserved_(this, "blocks_reserved",
+                       "KV blocks reserved over the run"),
+      blocks_released_(this, "blocks_released",
+                       "KV blocks released over the run"),
+      peak_used_(this, "peak_used_blocks",
+                 "high-water mark of resident KV blocks"),
+      occupancy_stat_(this, "occupancy",
+                      "fraction of the KV block pool in use",
+                      [this] { return occupancy(); })
+{
+    if (block_tokens_ == 0)
+        fatal("kv cache: block_tokens must be nonzero");
+    if (total_ == 0)
+        fatal("kv cache: empty block pool");
+}
+
+std::uint64_t
+KvCacheManager::blocksForTokens(unsigned tokens) const
+{
+    return (static_cast<std::uint64_t>(tokens) + block_tokens_ - 1)
+           / block_tokens_;
+}
+
+bool
+KvCacheManager::tryReserve(std::uint64_t blocks)
+{
+    if (used_ + blocks > total_) {
+        ++reserve_failures_;
+        return false;
+    }
+    used_ += blocks;
+    blocks_reserved_ += static_cast<double>(blocks);
+    peak_used_.set(std::max(peak_used_.value(),
+                            static_cast<double>(used_)));
+    return true;
+}
+
+void
+KvCacheManager::release(std::uint64_t blocks)
+{
+    if (blocks > used_)
+        fatal("kv cache: releasing ", blocks, " blocks with only ",
+              used_, " in use");
+    used_ -= blocks;
+    blocks_released_ += static_cast<double>(blocks);
+}
+
+void
+KvCacheManager::setTotalBlocks(std::uint64_t blocks)
+{
+    if (blocks == 0)
+        fatal("kv cache: cannot shrink pool to zero blocks");
+    total_ = blocks;
+}
+
+} // namespace serve
+} // namespace ehpsim

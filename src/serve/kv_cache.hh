@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Paged KV-cache accounting against unified-HBM capacity.
+ *
+ * Models a vLLM-style block allocator: the device memory left after
+ * model weights is carved into fixed-size blocks of block_tokens
+ * tokens each, and every resident sequence pins ceil(tokens/block)
+ * blocks. The manager only tracks counts — block identity does not
+ * affect timing — which keeps admission, eviction, and occupancy
+ * deterministic and allocation-free.
+ *
+ * Capacity can be rescaled mid-run (HBM channel blackouts from the
+ * fault injector shrink the pool), which may leave the pool
+ * over-committed until the batcher preempts sequences to fit.
+ */
+
+#ifndef EHPSIM_SERVE_KV_CACHE_HH
+#define EHPSIM_SERVE_KV_CACHE_HH
+
+#include <cstdint>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+class KvCacheManager : public SimObject
+{
+  public:
+    struct Params
+    {
+        std::uint64_t total_blocks = 0;
+        unsigned block_tokens = 16;
+    };
+
+    KvCacheManager(SimObject *parent, const std::string &name,
+                   const Params &p);
+
+    /** Blocks needed to pin @p tokens tokens. */
+    std::uint64_t blocksForTokens(unsigned tokens) const;
+
+    /**
+     * Reserve @p blocks blocks; false (and a counted failure) when
+     * the pool cannot cover them.
+     */
+    bool tryReserve(std::uint64_t blocks);
+
+    void release(std::uint64_t blocks);
+
+    /**
+     * Rescale the pool (HBM degradation). Never fails: the pool may
+     * become over-committed; the caller must preempt until
+     * overCommitted() clears.
+     */
+    void setTotalBlocks(std::uint64_t blocks);
+
+    bool overCommitted() const { return used_ > total_; }
+
+    std::uint64_t totalBlocks() const { return total_; }
+
+    std::uint64_t usedBlocks() const { return used_; }
+
+    std::uint64_t freeBlocks() const
+    {
+        return used_ >= total_ ? 0 : total_ - used_;
+    }
+
+    unsigned blockTokens() const { return block_tokens_; }
+
+    double occupancy() const
+    {
+        return total_ ? static_cast<double>(used_)
+                            / static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    std::uint64_t reserveFailures() const
+    {
+        return static_cast<std::uint64_t>(reserve_failures_.value());
+    }
+
+    /** High-water mark of resident blocks over the run. */
+    std::uint64_t peakUsedBlocks() const
+    {
+        return static_cast<std::uint64_t>(peak_used_.value());
+    }
+
+  private:
+    std::uint64_t total_;
+    unsigned block_tokens_;
+    std::uint64_t used_ = 0;
+
+    stats::Scalar reserve_failures_;
+    stats::Scalar blocks_reserved_;
+    stats::Scalar blocks_released_;
+    stats::Scalar peak_used_;
+    stats::Formula occupancy_stat_;
+};
+
+} // namespace serve
+} // namespace ehpsim
+
+#endif // EHPSIM_SERVE_KV_CACHE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One inflight serving request's lifecycle state.
+ *
+ * Requests are owned by the ServingEngine in a flat vector sized from
+ * the arrival trace; the batcher and engine refer to them by index so
+ * scheduling state stays trivially copyable and allocation-free in
+ * the steady state.
+ */
+
+#ifndef EHPSIM_SERVE_REQUEST_HH
+#define EHPSIM_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+enum class RequestState
+{
+    waiting,   ///< arrived, not yet admitted (or preempted back)
+    prefill,   ///< admitted, prompt tokens still being processed
+    decode,    ///< generating output tokens one per iteration
+    finished,  ///< all output tokens emitted
+};
+
+struct Request
+{
+    std::uint64_t id = 0;
+    Tick arrival = 0;
+    unsigned prompt_tokens = 0;
+    unsigned output_tokens = 0;
+
+    RequestState state = RequestState::waiting;
+
+    /** Prompt (plus regenerated) tokens prefilled so far. */
+    unsigned prefill_done = 0;
+    /** Output tokens emitted so far. */
+    unsigned generated = 0;
+    /** Tokens currently pinned in the KV cache. */
+    unsigned kv_tokens = 0;
+    /** KV blocks currently reserved for this request. */
+    std::uint64_t kv_blocks = 0;
+    /** Times this request was evicted under KV pressure. */
+    unsigned preemptions = 0;
+
+    Tick first_token = 0;  ///< tick of the first emitted token
+    Tick finish = 0;       ///< tick of the last emitted token
+
+    /** Prefill target: the prompt plus any already-generated tokens
+     *  that must be recomputed after an eviction. */
+    unsigned prefillTarget() const { return prompt_tokens + generated; }
+
+    bool prefillComplete() const
+    {
+        return prefill_done >= prefillTarget();
+    }
+};
+
+} // namespace serve
+} // namespace ehpsim
+
+#endif // EHPSIM_SERVE_REQUEST_HH

@@ -1,0 +1,185 @@
+#include "serve/scenario.hh"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "fault/fault_injector.hh"
+#include "serve/serving_engine.hh"
+#include "sim/logging.hh"
+#include "soc/node_topology.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+ServingConfig
+scenarioConfig(const ScenarioParams &p)
+{
+    ServingConfig cfg;
+    if (p.device == "mi300x") {
+        cfg = mi300xServingConfig(p.tp);
+    } else if (p.device == "baseline") {
+        cfg = baselineGpuServingConfig(p.tp);
+    } else {
+        fatal("serving scenario: unknown device '", p.device,
+              "' (expected mi300x or baseline)");
+    }
+    cfg.token_budget = p.token_budget;
+    cfg.max_batch = p.max_batch;
+    cfg.kv_blocks_override = p.kv_blocks_override;
+    return cfg;
+}
+
+std::vector<workloads::ServingRequestSpec>
+scenarioTrace(const ScenarioParams &p)
+{
+    workloads::ArrivalParams ap;
+    ap.seed = p.seed;
+    ap.num_requests = p.num_requests;
+    ap.rate_per_s = p.load_rps;
+    ap.mean_input_tokens = p.input_tokens;
+    ap.mean_output_tokens = p.output_tokens;
+    if (p.bursty)
+        return workloads::mmppArrivals(ap, workloads::MmppParams{});
+    return workloads::poissonArrivals(ap);
+}
+
+ScenarioResult
+runServingScenario(const ScenarioParams &p)
+{
+    const ServingConfig cfg = scenarioConfig(p);
+
+    EventQueue eq;
+    SimObject root(nullptr, "serving", &eq);
+
+    // TP > 1 shards over the first tp sockets of the Fig. 18b octo
+    // node; the decode/prefill all-reduces run over its IF links.
+    std::unique_ptr<soc::NodeTopology> topo;
+    std::unique_ptr<comm::CommGroup> group;
+    if (cfg.tp > 1) {
+        topo = soc::NodeTopology::mi300xOctoNode(&root);
+        std::vector<fabric::NodeId> ranks;
+        for (unsigned i = 0; i < cfg.tp; ++i)
+            ranks.push_back(topo->nodeId(i));
+        comm::CommParams cp;
+        cp.chunk_bytes = 1 * MiB;
+        // Transient chunk errors back off from 200 us so a faulted
+        // sweep degrades service without fatal retry exhaustion.
+        cp.retry_timeout = 200'000'000;
+        group = std::make_unique<comm::CommGroup>(
+            topo.get(), "tp_comm", topo->network(), std::move(ranks),
+            &eq, cp);
+    }
+
+    mem::HbmSubsystemParams hp;
+    hp.capacity_bytes = cfg.mem_capacity;
+    mem::HbmSubsystem hbm(&root, "hbm", hp);
+
+    ServingEngine engine(&root, "engine", &eq, cfg, scenarioTrace(p),
+                         group.get(), &hbm);
+
+    fault::FaultInjector injector(&root, "faults", p.faults, &eq);
+    if (topo)
+        injector.attachNetwork(topo->network());
+    if (group)
+        injector.attachCommGroup(group.get());
+    injector.attachHbm(&hbm);
+    injector.arm();
+
+    engine.start();
+    eq.run();
+
+    if (!engine.allDone())
+        fatal("serving scenario: run drained with ",
+              engine.completed(), "/", p.num_requests,
+              " requests finished");
+
+    ScenarioResult r;
+    r.ttft_p50_s = engine.ttft_s.percentile(50);
+    r.ttft_p95_s = engine.ttft_s.percentile(95);
+    r.ttft_p99_s = engine.ttft_s.percentile(99);
+    r.tpot_p50_s = engine.tpot_s.percentile(50);
+    r.tpot_p95_s = engine.tpot_s.percentile(95);
+    r.tpot_p99_s = engine.tpot_s.percentile(99);
+    r.tokens_per_s = engine.tokens_per_s.value();
+    r.slo_attainment = engine.slo_attainment.value();
+    r.mean_queue_depth = engine.queue_depth.mean();
+    r.max_queue_depth = engine.queue_depth.max();
+    r.kv_peak_blocks = engine.kvCache().peakUsedBlocks();
+    r.kv_total_blocks = engine.kvCache().totalBlocks();
+    r.kv_reserve_failures = engine.kvCache().reserveFailures();
+    r.kv_peak_occupancy =
+        r.kv_total_blocks
+            ? static_cast<double>(r.kv_peak_blocks)
+                  / static_cast<double>(r.kv_total_blocks)
+            : 0.0;
+    r.evictions = engine.batcher().evictions();
+    r.recompute_tokens = engine.batcher().recomputeTokens();
+    r.chunk_retries =
+        group ? static_cast<std::uint64_t>(
+                    group->chunk_retries.value())
+              : 0;
+    r.channels_dark =
+        static_cast<std::uint64_t>(hbm.channels_dark.value());
+    r.completed = engine.completed();
+    r.iterations =
+        static_cast<std::uint64_t>(engine.iterations.value());
+    r.makespan_s = secondsFromTicks(engine.makespan());
+
+    std::ostringstream stats;
+    json::JsonWriter sw(stats);
+    root.dumpJsonStats(sw);
+    r.stats_json = stats.str();
+
+    return r;
+}
+
+void
+dumpScenario(json::JsonWriter &jw, const ScenarioParams &p,
+             const ScenarioResult &r)
+{
+    jw.beginObject();
+    jw.key("params");
+    jw.beginObject();
+    jw.kv("device", p.device);
+    jw.kv("tp", p.tp);
+    jw.kv("load_rps", p.load_rps);
+    jw.kv("num_requests", p.num_requests);
+    jw.kv("input_tokens", p.input_tokens);
+    jw.kv("output_tokens", p.output_tokens);
+    jw.kv("seed", p.seed);
+    jw.kv("bursty", p.bursty);
+    jw.kv("token_budget", p.token_budget);
+    jw.kv("max_batch", p.max_batch);
+    jw.kv("faults", p.faults.describe());
+    jw.endObject();
+    jw.kv("ttft_p50_s", r.ttft_p50_s);
+    jw.kv("ttft_p95_s", r.ttft_p95_s);
+    jw.kv("ttft_p99_s", r.ttft_p99_s);
+    jw.kv("tpot_p50_s", r.tpot_p50_s);
+    jw.kv("tpot_p95_s", r.tpot_p95_s);
+    jw.kv("tpot_p99_s", r.tpot_p99_s);
+    jw.kv("tokens_per_s", r.tokens_per_s);
+    jw.kv("slo_attainment", r.slo_attainment);
+    jw.kv("mean_queue_depth", r.mean_queue_depth);
+    jw.kv("max_queue_depth", r.max_queue_depth);
+    jw.kv("kv_peak_occupancy", r.kv_peak_occupancy);
+    jw.kv("kv_peak_blocks", r.kv_peak_blocks);
+    jw.kv("kv_total_blocks", r.kv_total_blocks);
+    jw.kv("kv_reserve_failures", r.kv_reserve_failures);
+    jw.kv("evictions", r.evictions);
+    jw.kv("recompute_tokens", r.recompute_tokens);
+    jw.kv("chunk_retries", r.chunk_retries);
+    jw.kv("channels_dark", r.channels_dark);
+    jw.kv("completed", r.completed);
+    jw.kv("iterations", r.iterations);
+    jw.kv("makespan_s", r.makespan_s);
+    jw.key("stats");
+    jw.rawValue(r.stats_json);
+    jw.endObject();
+}
+
+} // namespace serve
+} // namespace ehpsim

@@ -1,0 +1,106 @@
+#include "serve/serving_config.hh"
+
+#include "core/machine_model.hh"
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+std::uint64_t
+LlmModelSpec::weightBytes() const
+{
+    return params * gpu::dataTypeBytes(dtype);
+}
+
+std::uint64_t
+LlmModelSpec::kvBytesPerToken() const
+{
+    const std::uint64_t head_dim = hidden / heads;
+    return 2ull * layers * head_dim * kv_heads
+           * gpu::dataTypeBytes(dtype);
+}
+
+std::uint64_t
+LlmModelSpec::activationBytesPerToken() const
+{
+    return static_cast<std::uint64_t>(hidden)
+           * gpu::dataTypeBytes(dtype);
+}
+
+std::uint64_t
+ServingConfig::kvBudgetBytes() const
+{
+    const double usable = static_cast<double>(tp)
+                          * static_cast<double>(mem_capacity)
+                          * kv_util_frac;
+    const double weights = static_cast<double>(model.weightBytes());
+    if (usable <= weights)
+        return 0;
+    return static_cast<std::uint64_t>(usable - weights);
+}
+
+std::uint64_t
+ServingConfig::kvTotalBlocks() const
+{
+    if (kv_blocks_override)
+        return kv_blocks_override;
+    const std::uint64_t block_bytes =
+        static_cast<std::uint64_t>(block_tokens)
+        * model.kvBytesPerToken();
+    return kvBudgetBytes() / block_bytes;
+}
+
+void
+ServingConfig::validate() const
+{
+    if (tp == 0 || token_budget == 0 || max_batch == 0
+        || block_tokens == 0) {
+        fatal("serving config: tp/token_budget/max_batch/block_tokens "
+              "must be nonzero");
+    }
+    if (peak_flops <= 0 || mem_bw <= 0 || mem_capacity == 0)
+        fatal("serving config: device rates unset");
+    if (model.heads == 0 || model.hidden % model.heads != 0)
+        fatal("serving config: hidden must divide evenly into heads");
+    if (kvTotalBlocks() == 0) {
+        fatal("serving config '", stack.name, "': model weights (",
+              formatBytes(model.weightBytes()),
+              ") leave no KV capacity in ", tp, "x",
+              formatBytes(mem_capacity));
+    }
+}
+
+ServingConfig
+mi300xServingConfig(unsigned tp)
+{
+    const core::MachineModel m = core::mi300xModel();
+    ServingConfig cfg;
+    cfg.stack = workloads::vllmMi300xStack;
+    cfg.model.dtype = cfg.stack.dtype;
+    cfg.peak_flops =
+        m.gpuPeakFlops(gpu::Pipe::matrix, cfg.stack.dtype);
+    cfg.mem_bw = m.mem_bw;
+    cfg.mem_capacity = m.mem_capacity;
+    cfg.tp = tp;
+    return cfg;
+}
+
+ServingConfig
+baselineGpuServingConfig(unsigned tp)
+{
+    const core::MachineModel m = core::baselineGpuModel();
+    ServingConfig cfg;
+    cfg.stack = workloads::trtllmFp8BaselineStack;
+    cfg.model.dtype = cfg.stack.dtype;
+    cfg.peak_flops =
+        m.gpuPeakFlops(gpu::Pipe::matrix, cfg.stack.dtype);
+    cfg.mem_bw = m.mem_bw;
+    cfg.mem_capacity = m.mem_capacity;
+    cfg.tp = tp;
+    return cfg;
+}
+
+} // namespace serve
+} // namespace ehpsim

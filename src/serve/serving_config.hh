@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Configuration of a cluster-scale LLM serving simulation
+ * (DESIGN.md §13).
+ *
+ * The paper's Fig. 21 story is fundamentally a capacity story:
+ * 192 GB of unified HBM per MI300X vs 80 GB on the baseline GPU.
+ * A ServingConfig captures everything the serving engine needs to
+ * replay that story under open-loop load: the model's shapes (which
+ * set weight bytes and KV-cache bytes per token), the software
+ * stack's sustained efficiency (shared with fig21 via
+ * workloads/llm_stack.hh), the device's peak rates and capacity,
+ * the tensor-parallel degree, and the continuous-batching and
+ * KV-cache knobs.
+ */
+
+#ifndef EHPSIM_SERVE_SERVING_CONFIG_HH
+#define EHPSIM_SERVE_SERVING_CONFIG_HH
+
+#include <cstdint>
+
+#include "gpu/cdna.hh"
+#include "sim/units.hh"
+#include "workloads/llm_stack.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+/** Transformer shapes that set the serving footprints. */
+struct LlmModelSpec
+{
+    std::uint64_t params = 70ull * 1000 * 1000 * 1000;  ///< 70 B
+    unsigned layers = 80;
+    unsigned hidden = 8192;
+    unsigned heads = 64;
+    /** Grouped-query attention: KV heads per layer (Llama-2 70B). */
+    unsigned kv_heads = 8;
+    /** Weights, activations, and KV entries share one data type. */
+    gpu::DataType dtype = gpu::DataType::fp16;
+
+    std::uint64_t weightBytes() const;
+
+    /** K + V bytes one token pins across all layers (GQA-reduced). */
+    std::uint64_t kvBytesPerToken() const;
+
+    /** One token's activation row (the TP all-reduce payload). */
+    std::uint64_t activationBytesPerToken() const;
+};
+
+struct ServingConfig
+{
+    LlmModelSpec model;
+    workloads::SoftwareStack stack = workloads::vllmMi300xStack;
+
+    /** @{ device: peak math at the stack's dtype, HBM rates */
+    double peak_flops = 0;
+    BytesPerSecond mem_bw = 0;
+    std::uint64_t mem_capacity = 0;
+    /** @} */
+
+    /** Tensor-parallel degree (1 = single device, no collectives). */
+    unsigned tp = 1;
+
+    /** @{ continuous batching */
+    /** Max tokens (decode + prefill chunks) per iteration. */
+    unsigned token_budget = 2048;
+    /** Max concurrently resident sequences. */
+    unsigned max_batch = 64;
+    /** @} */
+
+    /** @{ KV cache */
+    unsigned block_tokens = 16;
+    /** Fraction of device memory usable (rest: activations, frag). */
+    double kv_util_frac = 0.95;
+    /** Test hook: force the block pool size (0 = derive). */
+    std::uint64_t kv_blocks_override = 0;
+    /** @} */
+
+    /** @{ service-level objectives */
+    double slo_ttft_s = 4.0;
+    double slo_tpot_s = 0.15;
+    /** @} */
+
+    /** Megatron-style sharding: all-reduces per transformer layer. */
+    unsigned allreduces_per_layer = 2;
+
+    /**
+     * Aggregate KV budget across the TP group:
+     * tp * capacity * kv_util_frac - weights (weights shard 1/tp per
+     * rank, KV shards 1/tp per rank, so the aggregate is exact).
+     */
+    std::uint64_t kvBudgetBytes() const;
+
+    /** The KV block pool backing that budget. */
+    std::uint64_t kvTotalBlocks() const;
+
+    /** Fatal when the sharded weights overflow capacity, the KV
+     *  budget is empty, or the token budget can't cover the batch. */
+    void validate() const;
+};
+
+/** MI300X (192 GB @ 5.3 TB/s) serving vLLM FP16. */
+ServingConfig mi300xServingConfig(unsigned tp = 1);
+
+/**
+ * The Fig. 21 baseline GPU (80 GB @ 3.35 TB/s). FP16 weights do not
+ * fit, so it serves the TensorRT-LLM FP8 stack: halved weight and
+ * KV footprints at lower sustained efficiency.
+ */
+ServingConfig baselineGpuServingConfig(unsigned tp = 1);
+
+} // namespace serve
+} // namespace ehpsim
+
+#endif // EHPSIM_SERVE_SERVING_CONFIG_HH

@@ -1,0 +1,298 @@
+#include "serve/serving_engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace ehpsim
+{
+namespace serve
+{
+
+namespace
+{
+
+const ServingConfig &
+validated(const ServingConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(
+    SimObject *parent, const std::string &name, EventQueue *eq,
+    const ServingConfig &config,
+    std::vector<workloads::ServingRequestSpec> trace,
+    comm::CommGroup *comm, mem::HbmSubsystem *hbm)
+    : SimObject(parent, name, eq),
+      ttft_s(this, "ttft_s", "time to first token (s)"),
+      tpot_s(this, "tpot_s", "mean time per output token (s)"),
+      tokens_generated(this, "tokens_generated",
+                       "output tokens emitted"),
+      iterations(this, "iterations", "batched iterations executed"),
+      comm_iterations(this, "comm_iterations",
+                      "iterations that issued a TP all-reduce"),
+      slo_attained(this, "slo_attained",
+                   "requests meeting both TTFT and TPOT SLOs"),
+      slo_missed(this, "slo_missed",
+                 "requests missing a latency SLO"),
+      queue_depth(this, "queue_depth",
+                  "admission-queue depth per iteration"),
+      batch_tokens(this, "batch_tokens",
+                   "tokens scheduled per iteration"),
+      hbm_derates(this, "hbm_derates",
+                  "KV-pool rescales after HBM channel loss"),
+      slo_attainment(this, "slo_attainment",
+                     "fraction of finished requests meeting SLOs",
+                     [this] {
+                         const double done = slo_attained.value()
+                                             + slo_missed.value();
+                         return done ? slo_attained.value() / done
+                                     : 0.0;
+                     }),
+      tokens_per_s(this, "tokens_per_s",
+                   "output tokens per second of serving time",
+                   [this] {
+                       return last_finish_
+                                  ? tokens_generated.value()
+                                        / secondsFromTicks(
+                                              last_finish_)
+                                  : 0.0;
+                   }),
+      config_(validated(config)),
+      trace_(std::move(trace)),
+      kv_(this, "kv",
+          KvCacheManager::Params{config_.kvTotalBlocks(),
+                                 config_.block_tokens}),
+      batcher_(this, "batcher",
+               ContinuousBatcher::Params{config_.token_budget,
+                                         config_.max_batch},
+               &requests_, &kv_),
+      comm_(comm),
+      hbm_(hbm),
+      base_kv_blocks_(config_.kvTotalBlocks())
+{
+    if (config_.tp > 1 && !comm_)
+        fatal("serving engine '", name,
+              "': tp > 1 requires a CommGroup");
+    if (comm_ && comm_->numRanks() != config_.tp)
+        fatal("serving engine '", name, "': comm group has ",
+              comm_->numRanks(), " ranks but tp is ", config_.tp);
+    if (!std::is_sorted(trace_.begin(), trace_.end(),
+                        [](const auto &a, const auto &b) {
+                            return a.arrival < b.arrival;
+                        }))
+        fatal("serving engine '", name,
+              "': arrival trace must be sorted");
+    requests_.reserve(trace_.size());
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+        Request r;
+        r.id = i;
+        r.arrival = trace_[i].arrival;
+        r.prompt_tokens = trace_[i].input_tokens;
+        r.output_tokens = trace_[i].output_tokens;
+        requests_.push_back(r);
+    }
+}
+
+void
+ServingEngine::start()
+{
+    if (trace_.empty())
+        return;
+    wake_scheduled_ = true;
+    eventq()->scheduleCallback(trace_[0].arrival, [this] {
+        wake_scheduled_ = false;
+        step();
+    });
+}
+
+void
+ServingEngine::drainArrivals(Tick now)
+{
+    while (next_arrival_ < trace_.size()
+           && trace_[next_arrival_].arrival <= now) {
+        batcher_.enqueue(next_arrival_);
+        ++next_arrival_;
+    }
+}
+
+void
+ServingEngine::applyHbmDegrade()
+{
+    if (!hbm_)
+        return;
+    const double ratio = static_cast<double>(hbm_->liveChannels())
+                         / static_cast<double>(hbm_->numChannels());
+    if (ratio == hbm_ratio_)
+        return;
+    hbm_ratio_ = ratio;
+    ++hbm_derates;
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(base_kv_blocks_) * ratio);
+    kv_.setTotalBlocks(std::max<std::uint64_t>(scaled, 1));
+    batcher_.preemptUntilFits();
+}
+
+double
+ServingEngine::iterationSeconds(const IterationPlan &plan) const
+{
+    const double eff = config_.stack.efficiency;
+    const double tokens = static_cast<double>(plan.tokens());
+    const double tp = static_cast<double>(config_.tp);
+
+    const double compute_s =
+        2.0 * static_cast<double>(config_.model.params) * tokens / tp
+        / (config_.peak_flops * eff);
+
+    const double weight_bytes =
+        static_cast<double>(config_.model.weightBytes()) / tp;
+    const double kv_bytes =
+        (static_cast<double>(plan.context_tokens) + tokens)
+        * static_cast<double>(config_.model.kvBytesPerToken()) / tp;
+    const double bw = config_.mem_bw * hbm_ratio_ * eff;
+    const double mem_s = (weight_bytes + kv_bytes) / bw;
+
+    return std::max(compute_s, mem_s);
+}
+
+void
+ServingEngine::step()
+{
+    if (busy_)
+        return;
+    const Tick now = curTick();
+    drainArrivals(now);
+    applyHbmDegrade();
+
+    IterationPlan plan = batcher_.buildPlan();
+    if (plan.empty()) {
+        if (!batcher_.idle())
+            panic("serving engine '", name(),
+                  "': scheduler stalled with ",
+                  batcher_.waitingDepth(), " waiting / ",
+                  batcher_.runningCount(), " running");
+        if (next_arrival_ < trace_.size() && !wake_scheduled_) {
+            wake_scheduled_ = true;
+            eventq()->scheduleCallback(
+                trace_[next_arrival_].arrival, [this] {
+                    wake_scheduled_ = false;
+                    step();
+                });
+        }
+        return;
+    }
+
+    queue_depth.sample(
+        static_cast<double>(batcher_.waitingDepth()));
+    batch_tokens.sample(static_cast<double>(plan.tokens()));
+    launchIteration(std::move(plan));
+}
+
+void
+ServingEngine::launchIteration(IterationPlan plan)
+{
+    busy_ = true;
+    ++iterations;
+    const Tick now = curTick();
+    const Tick base =
+        std::max<Tick>(ticksFromSeconds(iterationSeconds(plan)), 1);
+    const std::uint64_t bytes = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(plan.tokens())
+            * config_.model.activationBytesPerToken(),
+        1);
+    plan_ = std::move(plan);
+
+    if (config_.tp == 1) {
+        eventq()->scheduleCallback(
+            now + base, [this] { finishIteration(curTick()); });
+        return;
+    }
+
+    // One measured all-reduce over the fabric stands in for the
+    // layers * allreduces_per_layer identical ones a Megatron-style
+    // forward pass issues: the rest are extrapolated from its
+    // measured duration, so link faults and retry backoff stretch
+    // the whole iteration.
+    ++comm_iterations;
+    const Tick comm_start = now + base;
+    const unsigned per_pass =
+        config_.model.layers * config_.allreduces_per_layer;
+    auto op = comm_->allReduce(comm_start, bytes);
+    op->setOnComplete([this, comm_start, per_pass](Tick fin) {
+        const Tick measured = fin - comm_start;
+        const Tick extra = measured * (per_pass - 1);
+        eventq()->scheduleCallback(
+            fin + extra, [this] { finishIteration(curTick()); });
+    });
+}
+
+void
+ServingEngine::finishRequest(Request &r, Tick now)
+{
+    r.state = RequestState::finished;
+    r.finish = now;
+    const double ttft = secondsFromTicks(r.first_token - r.arrival);
+    double tpot = 0.0;
+    if (r.generated > 1) {
+        tpot = secondsFromTicks(now - r.first_token)
+               / static_cast<double>(r.generated - 1);
+        tpot_s.sample(tpot);
+    }
+    if (ttft <= config_.slo_ttft_s && tpot <= config_.slo_tpot_s)
+        ++slo_attained;
+    else
+        ++slo_missed;
+    batcher_.finish(r.id);
+    ++finished_;
+    last_finish_ = std::max(last_finish_, now);
+}
+
+void
+ServingEngine::finishIteration(Tick now)
+{
+    for (const auto &[idx, chunk] : plan_.prefill) {
+        Request &r = requests_[idx];
+        if (r.state != RequestState::prefill)
+            panic("serving engine: planned prefill for request ",
+                  idx, " in wrong state");
+        r.prefill_done += chunk;
+        r.kv_tokens = r.prefill_done;
+        if (!r.prefillComplete())
+            continue;
+        r.state = RequestState::decode;
+        if (r.generated == 0) {
+            // Fresh prefill emits the first token; a recompute
+            // after eviction only restores context.
+            r.first_token = now;
+            ttft_s.sample(secondsFromTicks(now - r.arrival));
+            r.generated = 1;
+            r.kv_tokens += 1;
+            ++tokens_generated;
+            if (r.generated >= r.output_tokens)
+                finishRequest(r, now);
+        }
+    }
+
+    for (const std::uint64_t idx : plan_.decode) {
+        Request &r = requests_[idx];
+        if (r.state != RequestState::decode)
+            panic("serving engine: planned decode for request ", idx,
+                  " in wrong state");
+        r.kv_tokens += 1;
+        r.generated += 1;
+        ++tokens_generated;
+        if (r.generated >= r.output_tokens)
+            finishRequest(r, now);
+    }
+
+    plan_ = IterationPlan{};
+    busy_ = false;
+    step();
+}
+
+} // namespace serve
+} // namespace ehpsim

@@ -159,6 +159,83 @@ Distribution::reset()
     sum_ = 0;
 }
 
+void
+Percentile::sample(double v)
+{
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_ = samples_.size() <= 1;
+}
+
+double
+Percentile::mean() const
+{
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
+}
+
+void
+Percentile::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Percentile::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile out of range: ", p);
+    ensureSorted();
+    const double n = static_cast<double>(samples_.size());
+    // Nearest-rank: the ceil(p/100 * N)-th smallest sample.
+    const double rank = std::ceil(p / 100.0 * n);
+    const auto idx = static_cast<std::size_t>(
+        std::max(rank - 1.0, 0.0));
+    return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void
+Percentile::dump(std::ostream &os, const std::string &path) const
+{
+    os << path << name() << "::p50 " << percentile(50) << " # "
+       << desc() << "\n";
+    os << path << name() << "::p95 " << percentile(95) << " # "
+       << desc() << "\n";
+    os << path << name() << "::p99 " << percentile(99) << " # "
+       << desc() << "\n";
+    os << path << name() << "::mean " << mean() << " # " << desc()
+       << "\n";
+    os << path << name() << "::count " << count() << " # " << desc()
+       << "\n";
+}
+
+void
+Percentile::dumpJson(json::JsonWriter &jw) const
+{
+    jw.key(name());
+    jw.beginObject();
+    jw.kv("p50", percentile(50));
+    jw.kv("p95", percentile(95));
+    jw.kv("p99", percentile(99));
+    jw.kv("mean", mean());
+    jw.kv("count", count());
+    jw.endObject();
+}
+
+void
+Percentile::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0;
+}
+
 Formula::Formula(StatGroup *parent, std::string name, std::string desc,
                  std::function<double()> fn)
     : StatBase(parent, std::move(name), std::move(desc)),

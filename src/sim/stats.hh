@@ -157,6 +157,49 @@ class Distribution : public StatBase
     double sum_ = 0;
 };
 
+/**
+ * Exact percentiles over individually recorded samples.
+ *
+ * Samples are retained (sorted lazily on demand), so any percentile
+ * is exact — no bucket-resolution error — and the result is a pure
+ * function of the sample multiset: deterministic across runs,
+ * worker counts, and insertion orders. Intended for latency
+ * populations of bounded size (one sample per request, not per
+ * event); dump() and dumpJson() report p50/p95/p99 plus mean/count.
+ */
+class Percentile : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return samples_.size(); }
+
+    double mean() const;
+
+    /**
+     * Nearest-rank percentile for @p p in [0, 100]: the
+     * ceil(p/100 * N)-th smallest sample (the smallest for p = 0).
+     * Returns 0 when no samples were recorded.
+     */
+    double percentile(double p) const;
+
+    void dump(std::ostream &os, const std::string &path) const override;
+
+    void dumpJson(json::JsonWriter &jw) const override;
+
+    void reset() override;
+
+  private:
+    /** Sort samples_ unless already sorted since the last sample. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0;
+};
+
 /** A derived statistic evaluated lazily at dump time. */
 class Formula : public StatBase
 {

@@ -1,0 +1,123 @@
+#include "workloads/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+void
+ArrivalParams::validate() const
+{
+    if (rate_per_s <= 0.0)
+        fatal("arrival rate must be positive, got ", rate_per_s);
+    if (mean_input_tokens == 0 || mean_output_tokens == 0)
+        fatal("mean token counts must be nonzero");
+    if (token_jitter < 0.0 || token_jitter >= 1.0)
+        fatal("token jitter must be in [0, 1), got ", token_jitter);
+}
+
+void
+MmppParams::validate() const
+{
+    if (burst_rate_multiplier < 1.0)
+        fatal("burst rate multiplier must be >= 1, got ",
+              burst_rate_multiplier);
+    if (mean_calm_s <= 0.0 || mean_burst_s <= 0.0)
+        fatal("MMPP dwell times must be positive");
+}
+
+namespace
+{
+
+/** Exponential draw with mean 1/@p rate, seconds. */
+double
+expDraw(Rng &rng, double rate)
+{
+    // nextDouble() is in [0, 1); 1-u is in (0, 1], so log() is safe.
+    return -std::log(1.0 - rng.nextDouble()) / rate;
+}
+
+/** Uniform draw in mean * [1 - jitter, 1 + jitter], at least 1. */
+unsigned
+jitteredTokens(Rng &rng, unsigned mean, double jitter)
+{
+    const double f = 1.0 - jitter + 2.0 * jitter * rng.nextDouble();
+    const double v = static_cast<double>(mean) * f;
+    return std::max(1u, static_cast<unsigned>(v));
+}
+
+ServingRequestSpec
+makeRequest(Rng &rng, Tick arrival, const ArrivalParams &p)
+{
+    ServingRequestSpec r;
+    r.arrival = arrival;
+    r.input_tokens =
+        jitteredTokens(rng, p.mean_input_tokens, p.token_jitter);
+    r.output_tokens =
+        jitteredTokens(rng, p.mean_output_tokens, p.token_jitter);
+    return r;
+}
+
+} // anonymous namespace
+
+std::vector<ServingRequestSpec>
+poissonArrivals(const ArrivalParams &p)
+{
+    p.validate();
+    Rng rng(p.seed);
+    std::vector<ServingRequestSpec> out;
+    out.reserve(p.num_requests);
+    double t_s = 0.0;
+    for (unsigned i = 0; i < p.num_requests; ++i) {
+        t_s += expDraw(rng, p.rate_per_s);
+        out.push_back(makeRequest(rng, ticksFromSeconds(t_s), p));
+    }
+    return out;
+}
+
+std::vector<ServingRequestSpec>
+mmppArrivals(const ArrivalParams &p, const MmppParams &m)
+{
+    p.validate();
+    m.validate();
+    // Stationary mean rate = (r_c * T_c + r_b * T_b) / (T_c + T_b)
+    // with r_b = mult * r_c; solve for the calm rate r_c.
+    const double weight =
+        (m.mean_calm_s + m.burst_rate_multiplier * m.mean_burst_s) /
+        (m.mean_calm_s + m.mean_burst_s);
+    const double calm_rate = p.rate_per_s / weight;
+    const double burst_rate = calm_rate * m.burst_rate_multiplier;
+
+    Rng rng(p.seed);
+    std::vector<ServingRequestSpec> out;
+    out.reserve(p.num_requests);
+    double t_s = 0.0;
+    bool burst = false;
+    double switch_s = expDraw(rng, 1.0 / m.mean_calm_s);
+    while (out.size() < p.num_requests) {
+        const double rate = burst ? burst_rate : calm_rate;
+        const double next = t_s + expDraw(rng, rate);
+        if (next >= switch_s) {
+            // The state flips before this arrival would land:
+            // restart the (memoryless) draw from the switch point.
+            t_s = switch_s;
+            burst = !burst;
+            switch_s =
+                t_s + expDraw(rng, 1.0 / (burst ? m.mean_burst_s
+                                                : m.mean_calm_s));
+            continue;
+        }
+        t_s = next;
+        out.push_back(makeRequest(rng, ticksFromSeconds(t_s), p));
+    }
+    return out;
+}
+
+} // namespace workloads
+} // namespace ehpsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Open-loop request-arrival traces for the serving subsystem
+ * (src/serve).
+ *
+ * A serving simulation is only as honest as its arrival process:
+ * closed-loop "next request when the last one finishes" benchmarks
+ * hide every queueing effect the paper's millions-of-users story is
+ * about. These generators produce the whole trace up front from one
+ * seed, so a serving sweep point is a pure function of its
+ * parameters:
+ *
+ *  - poissonArrivals(): memoryless arrivals at a fixed offered load,
+ *    the classic open-loop model;
+ *  - mmppArrivals(): a two-state Markov-modulated Poisson process
+ *    (calm / burst) whose bursts exercise admission control and
+ *    KV-cache pressure far harder than the same mean load spread
+ *    evenly.
+ *
+ * Prompt and output lengths are jittered uniformly around their
+ * means from the same seeded Rng.
+ */
+
+#ifndef EHPSIM_WORKLOADS_ARRIVALS_HH
+#define EHPSIM_WORKLOADS_ARRIVALS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+/** One serving request: when it arrives and how big it is. */
+struct ServingRequestSpec
+{
+    Tick arrival = 0;
+    unsigned input_tokens = 0;
+    unsigned output_tokens = 0;
+};
+
+/** Knobs shared by every arrival process. */
+struct ArrivalParams
+{
+    std::uint64_t seed = 1;
+    unsigned num_requests = 32;
+    /** Mean offered load, requests per simulated second. */
+    double rate_per_s = 1.0;
+    unsigned mean_input_tokens = 1024;
+    unsigned mean_output_tokens = 256;
+    /** Lengths are uniform in mean * [1 - jitter, 1 + jitter]. */
+    double token_jitter = 0.25;
+
+    /** Fatal on nonpositive rate, zero tokens, or jitter >= 1. */
+    void validate() const;
+};
+
+/** Two-state MMPP shape: calm / burst dwell times and intensity. */
+struct MmppParams
+{
+    /** Burst-state rate as a multiple of the calm-state rate. */
+    double burst_rate_multiplier = 8.0;
+    double mean_calm_s = 2.0;
+    double mean_burst_s = 0.5;
+
+    /** Fatal on nonpositive dwell times or multiplier < 1. */
+    void validate() const;
+};
+
+/**
+ * Seeded Poisson arrivals: exponential inter-arrival times at
+ * @p p.rate_per_s. Arrival ticks are strictly increasing.
+ */
+std::vector<ServingRequestSpec> poissonArrivals(const ArrivalParams &p);
+
+/**
+ * Seeded two-state MMPP arrivals. The calm-state rate is derived so
+ * the stationary mean equals @p p.rate_per_s; the burst state runs
+ * at @p m.burst_rate_multiplier times that. State dwell times are
+ * exponential with the given means.
+ */
+std::vector<ServingRequestSpec> mmppArrivals(const ArrivalParams &p,
+                                             const MmppParams &m);
+
+} // namespace workloads
+} // namespace ehpsim
+
+#endif // EHPSIM_WORKLOADS_ARRIVALS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Software-stack efficiency table shared by the Fig. 21 bench and
+ * the serving subsystem (src/serve).
+ *
+ * Sustained fraction of peak (math and bandwidth) per inference
+ * software stack. vLLM's kernels are well tuned for MI300X (AMD's
+ * launch stack) but generic on the baseline GPU; TensorRT-LLM is the
+ * baseline vendor's heavily optimized stack; its FP8 path gives up
+ * sustained efficiency for the halved footprint (quantize /
+ * dequantize epilogues, less mature kernels). One definition here so
+ * fig21 and bench/serving_llm cannot diverge.
+ */
+
+#ifndef EHPSIM_WORKLOADS_LLM_STACK_HH
+#define EHPSIM_WORKLOADS_LLM_STACK_HH
+
+#include "gpu/cdna.hh"
+
+namespace ehpsim
+{
+namespace workloads
+{
+
+/** One inference software stack: sustained efficiency + data type. */
+struct SoftwareStack
+{
+    const char *name;
+    /** Fraction of peak math and bandwidth the stack sustains. */
+    double efficiency;
+    gpu::DataType dtype;
+};
+
+/** vLLM on MI300X: AMD's launch stack, well tuned there. */
+constexpr SoftwareStack vllmMi300xStack = {"vLLM", 0.70,
+                                           gpu::DataType::fp16};
+
+/** vLLM on the baseline GPU: generic, untuned kernels. */
+constexpr SoftwareStack vllmBaselineStack = {"vLLM", 0.40,
+                                             gpu::DataType::fp16};
+
+/** TensorRT-LLM FP16 on the baseline GPU: vendor-optimized. */
+constexpr SoftwareStack trtllmBaselineStack = {"TensorRT-LLM", 0.80,
+                                               gpu::DataType::fp16};
+
+/** TensorRT-LLM FP8: halved footprint, lower sustained efficiency. */
+constexpr SoftwareStack trtllmFp8BaselineStack = {"TensorRT-LLM-FP8",
+                                                  0.45,
+                                                  gpu::DataType::fp8};
+
+} // namespace workloads
+} // namespace ehpsim
+
+#endif // EHPSIM_WORKLOADS_LLM_STACK_HH

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/sim_object.hh"
@@ -651,4 +652,62 @@ TEST(Logging, WarnCounts)
     const auto before = logging_detail::warnCount();
     warn("something odd: ", 1);
     EXPECT_EQ(logging_detail::warnCount(), before + 1);
+}
+
+TEST(Stats, PercentileNearestRankIsExact)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Percentile p(&root, "lat", "latency samples");
+    for (const double v : {40.0, 10.0, 100.0, 20.0, 60.0, 30.0, 90.0,
+                           50.0, 80.0, 70.0})
+        p.sample(v);
+
+    EXPECT_EQ(p.count(), 10u);
+    EXPECT_DOUBLE_EQ(p.mean(), 55.0);
+    EXPECT_DOUBLE_EQ(p.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(p.percentile(95), 100.0);
+    EXPECT_DOUBLE_EQ(p.percentile(99), 100.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+}
+
+TEST(Stats, PercentileIsInsertionOrderInvariant)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Percentile fwd(&root, "fwd", "");
+    stats::Percentile rev(&root, "rev", "");
+    for (int i = 1; i <= 101; ++i)
+        fwd.sample(static_cast<double>(i));
+    for (int i = 101; i >= 1; --i)
+        rev.sample(static_cast<double>(i));
+    for (const double q : {1.0, 25.0, 50.0, 75.0, 99.0})
+        EXPECT_DOUBLE_EQ(fwd.percentile(q), rev.percentile(q));
+}
+
+TEST(Stats, PercentileEmptyIsZeroAndResets)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Percentile p(&root, "lat", "");
+    EXPECT_EQ(p.count(), 0u);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+    p.sample(3.0);
+    p.reset();
+    EXPECT_EQ(p.count(), 0u);
+    EXPECT_DOUBLE_EQ(p.percentile(99), 0.0);
+}
+
+TEST(Stats, PercentileDumpJsonCarriesSummary)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Percentile p(&root, "lat", "");
+    p.sample(1.0);
+    p.sample(2.0);
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    root.dumpJsonStats(jw);
+    const std::string doc = os.str();
+    for (const char *key : {"\"p50\"", "\"p95\"", "\"p99\"",
+                            "\"mean\"", "\"count\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
 }

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/arrivals.hh"
 #include "workloads/generators.hh"
 
 using namespace ehpsim;
@@ -127,4 +132,103 @@ TEST(Generators, GromacsMixedPhases)
     const auto w = gromacsLike(500'000, 2);
     EXPECT_EQ(w.phases.size(), 4u);
     EXPECT_EQ(w.phases[0].dtype, gpu::DataType::fp32);
+}
+
+// ---------------------------------------------------------------------
+// Open-loop arrival traces (src/workloads/arrivals.hh)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ArrivalParams
+arrivalParams(std::uint64_t seed, unsigned n, double rate)
+{
+    ArrivalParams p;
+    p.seed = seed;
+    p.num_requests = n;
+    p.rate_per_s = rate;
+    return p;
+}
+
+double
+interArrivalCv(const std::vector<ServingRequestSpec> &trace)
+{
+    double sum = 0, sq = 0;
+    const auto n = static_cast<double>(trace.size() - 1);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        const double d =
+            secondsFromTicks(trace[i].arrival - trace[i - 1].arrival);
+        sum += d;
+        sq += d * d;
+    }
+    const double mean = sum / n;
+    return std::sqrt(sq / n - mean * mean) / mean;
+}
+
+} // anonymous namespace
+
+TEST(Arrivals, PoissonIsSeedDeterministicAndSorted)
+{
+    const auto a = poissonArrivals(arrivalParams(7, 64, 4.0));
+    const auto b = poissonArrivals(arrivalParams(7, 64, 4.0));
+    ASSERT_EQ(a.size(), 64u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+        if (i > 0)
+            EXPECT_GT(a[i].arrival, a[i - 1].arrival);
+    }
+    const auto c = poissonArrivals(arrivalParams(8, 64, 4.0));
+    EXPECT_NE(a[0].arrival, c[0].arrival);
+}
+
+TEST(Arrivals, PoissonMatchesOfferedLoad)
+{
+    const auto trace = poissonArrivals(arrivalParams(3, 4000, 10.0));
+    const double span = secondsFromTicks(trace.back().arrival);
+    const double rate = 4000.0 / span;
+    EXPECT_NEAR(rate, 10.0, 1.0);
+}
+
+TEST(Arrivals, TokenJitterStaysInBounds)
+{
+    ArrivalParams p = arrivalParams(11, 256, 2.0);
+    p.mean_input_tokens = 1000;
+    p.mean_output_tokens = 100;
+    p.token_jitter = 0.25;
+    for (const auto &r : poissonArrivals(p)) {
+        EXPECT_GE(r.input_tokens, 750u);
+        EXPECT_LE(r.input_tokens, 1250u);
+        EXPECT_GE(r.output_tokens, 75u);
+        EXPECT_LE(r.output_tokens, 125u);
+        EXPECT_GT(r.output_tokens, 0u);
+    }
+}
+
+TEST(Arrivals, MmppIsBurstierThanPoissonAtEqualMeanLoad)
+{
+    const auto poisson = poissonArrivals(arrivalParams(5, 512, 2.0));
+    const auto mmpp =
+        mmppArrivals(arrivalParams(5, 512, 2.0), MmppParams{});
+    ASSERT_EQ(mmpp.size(), 512u);
+    for (std::size_t i = 1; i < mmpp.size(); ++i)
+        EXPECT_GT(mmpp[i].arrival, mmpp[i - 1].arrival);
+    // A Poisson process has inter-arrival CV ~= 1; the two-state
+    // MMPP's burst/calm switching pushes it well above.
+    EXPECT_NEAR(interArrivalCv(poisson), 1.0, 0.25);
+    EXPECT_GT(interArrivalCv(mmpp), interArrivalCv(poisson) * 1.2);
+}
+
+TEST(Arrivals, InvalidParamsAreFatal)
+{
+    ArrivalParams bad = arrivalParams(1, 8, 0.0);
+    EXPECT_THROW(bad.validate(), std::runtime_error);
+    ArrivalParams jit = arrivalParams(1, 8, 1.0);
+    jit.token_jitter = 1.0;
+    EXPECT_THROW(jit.validate(), std::runtime_error);
+    MmppParams m;
+    m.burst_rate_multiplier = 0.5;
+    EXPECT_THROW(m.validate(), std::runtime_error);
 }
