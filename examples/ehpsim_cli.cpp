@@ -32,6 +32,9 @@
  *              [--error-rate R] [--kill a:b@tick[*factor]]
  *              [--blackout ch@tick] [--jobs N] [--json FILE]
  *
+ *   ehpsim_cli race [--bytes SIZE] [--requests N] [--seed N]
+ *              [--jobs N] [--json FILE]
+ *
  * The sweep subcommand runs the products x workloads cross product
  * as independent jobs on a sweep::SweepRunner worker pool and emits
  * an ehpsim-sweep-v1 JSON document (stdout, or FILE with --json).
@@ -57,6 +60,14 @@
  * --blackout — the fault injector degrading service mid-run. Each
  * job reports TTFT/TPOT percentiles, tokens/s, SLO attainment, and
  * the KV eviction/retry counters.
+ *
+ * The race subcommand (requires a -DEHPSIM_RACE=ON build; exits 2
+ * otherwise) runs the octo all-reduce and a fixed-seed serving
+ * scenario under the ehpsim-race AccessTracker and emits the merged
+ * ehpsim-race-v1 report: order/partition conflicts with waiver
+ * status plus the partition dependency graph and PDES lookahead
+ * table (DESIGN.md §14). Exit 1 when any conflict is unwaived. The
+ * report is byte-identical for any --jobs value.
  *
  * Examples:
  *   ehpsim_cli --product mi300a --workload cfd --engine roofline
@@ -84,6 +95,7 @@
 
 #include "comm/comm_group.hh"
 #include "core/apu_system.hh"
+#include "sim/access_tracker.hh"
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
 #include "core/machine_model.hh"
@@ -149,8 +161,12 @@ usage(const char *argv0)
                  "          [--kv-blocks N] [--error-rate R] "
                  "[--kill a:b@tick[*factor]]\n"
                  "          [--blackout ch@tick] [--jobs N] "
-                 "[--json FILE]\n",
-                 argv0, argv0, argv0, argv0, argv0);
+                 "[--json FILE]\n"
+                 "       %s race [--bytes SIZE] [--requests N] "
+                 "[--seed N]\n"
+                 "          [--jobs N] [--json FILE]   "
+                 "(needs -DEHPSIM_RACE=ON)\n",
+                 argv0, argv0, argv0, argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -885,11 +901,265 @@ serveMain(int argc, char **argv)
     return failures == 0 ? 0 : 1;
 }
 
+/**
+ * Per-scenario data the race jobs extract for the merged top-level
+ * report. Slots are preallocated per job index and each written by
+ * exactly one worker, so no synchronization is needed beyond the
+ * runner's own join.
+ */
+struct RaceJobData
+{
+    std::map<std::pair<int, int>, Tick> lookahead;
+    std::map<std::pair<int, int>, std::uint64_t> flows;
+    std::uint64_t conflicts = 0;
+    std::uint64_t waived = 0;
+    std::uint64_t unwaived = 0;
+    std::uint64_t events = 0;
+    std::uint64_t accesses = 0;
+};
+
+/** Serialize one scenario's result: its name plus the full
+ *  ehpsim-race-v1 tracker report. */
+void
+dumpRaceScenario(json::JsonWriter &jw, const std::string &name,
+                 const race::AccessTracker &t)
+{
+    jw.beginObject();
+    jw.kv("scenario", name);
+    jw.key("report");
+    t.dumpJson(jw);
+    jw.endObject();
+}
+
+void
+extractRaceData(const race::AccessTracker &t, RaceJobData &out)
+{
+    out.lookahead = t.lookahead();
+    out.flows = t.flows();
+    out.conflicts = t.conflictCount();
+    out.waived = t.waivedCount();
+    out.unwaived = t.unwaivedCount();
+    out.events = t.eventCount();
+    out.accesses = t.accessCount();
+}
+
+/** The octo-node ring all-reduce under the tracker: the collective
+ *  hot path whose batched completions PR 5 made reorderable. */
+void
+runRaceCommJob(std::uint64_t bytes, json::JsonWriter &jw,
+               RaceJobData &out)
+{
+    race::AccessTracker t;
+    race::addStandardWaivers(t);
+    {
+        race::TrackerScope scope(&t);
+        SimObject root(nullptr, "root");
+        auto topo = soc::NodeTopology::mi300xOctoNode(&root);
+        EventQueue eq;
+        comm::CommParams params;
+        params.chunk_bytes = 1 * MiB;
+        comm::CommGroup group(topo.get(), "comm", topo->network(),
+                              topo->deviceRanks(), &eq, params);
+        group.allReduce(0, bytes, comm::Algorithm::ring);
+        group.waitAll();
+    }
+    dumpRaceScenario(jw, "comm_allreduce_octo", t);
+    extractRaceData(t, out);
+}
+
+/** A fixed-seed TP-decode serving run under the tracker (no fault
+ *  plan: scheduled faults are exercised by race_test instead). */
+void
+runRaceServeJob(unsigned requests, std::uint64_t seed,
+                json::JsonWriter &jw, RaceJobData &out)
+{
+    race::AccessTracker t;
+    race::addStandardWaivers(t);
+    {
+        race::TrackerScope scope(&t);
+        serve::ScenarioParams p;
+        p.device = "mi300x";
+        p.tp = 2;
+        p.num_requests = requests;
+        p.seed = seed;
+        p.load_rps = 1.0;
+        serve::runServingScenario(p);
+    }
+    dumpRaceScenario(jw, "serve_octo_tp2", t);
+    extractRaceData(t, out);
+}
+
+int
+raceMain(int argc, char **argv)
+{
+    std::uint64_t bytes = 4 * MiB;
+    unsigned requests = 8;
+    std::uint64_t seed = 42;
+    std::string json_path;
+    unsigned jobs = 1;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--bytes")
+            bytes = parseSize(next());
+        else if (arg == "--requests")
+            requests = std::stoul(next());
+        else if (arg == "--seed")
+            seed = std::stoull(next());
+        else if (arg == "--jobs")
+            jobs = std::stoul(next());
+        else if (arg == "--json")
+            json_path = next();
+        else
+            usage(argv[0]);
+    }
+    if (jobs == 0)
+        usage(argv[0]);
+
+#ifndef EHPSIM_RACE
+    (void)bytes;
+    (void)requests;
+    (void)seed;
+    std::fprintf(stderr,
+                 "race: this binary was built without the tracker "
+                 "hooks; reconfigure with -DEHPSIM_RACE=ON\n");
+    return 2;
+#else
+    std::vector<RaceJobData> data(2);
+    sweep::SweepRunner runner(jobs);
+    runner.addJob("comm_allreduce_octo",
+                  [bytes, &data](json::JsonWriter &jw) {
+                      runRaceCommJob(bytes, jw, data[0]);
+                  });
+    runner.addJob("serve_octo_tp2",
+                  [requests, seed, &data](json::JsonWriter &jw) {
+                      runRaceServeJob(requests, seed, jw, data[1]);
+                  });
+
+    const auto results = runner.run();
+
+    int failures = 0;
+    for (const auto &res : results) {
+        if (!res.ok) {
+            ++failures;
+            std::fprintf(stderr, "race: job %zu (%s) failed: %s\n",
+                         res.index, res.name.c_str(),
+                         res.error.c_str());
+        }
+    }
+
+    RaceJobData total;
+    for (const auto &d : data) {
+        total.conflicts += d.conflicts;
+        total.waived += d.waived;
+        total.unwaived += d.unwaived;
+        total.events += d.events;
+        total.accesses += d.accesses;
+        for (const auto &[pair, latency] : d.lookahead) {
+            auto [it, inserted] = total.lookahead.emplace(pair, latency);
+            if (!inserted)
+                it->second = std::min(it->second, latency);
+        }
+        for (const auto &[pair, count] : d.flows)
+            total.flows[pair] += count;
+    }
+
+    std::ostringstream doc;
+    {
+        json::JsonWriter jw(doc);
+        jw.beginObject();
+        jw.kv("schema", "ehpsim-race-v1");
+        jw.key("summary");
+        jw.beginObject();
+        jw.kv("scenarios", std::uint64_t(results.size()));
+        jw.kv("events", total.events);
+        jw.kv("accesses", total.accesses);
+        jw.kv("conflicts", total.conflicts);
+        jw.kv("waived", total.waived);
+        jw.kv("unwaived", total.unwaived);
+        jw.endObject();
+        jw.key("scenarios");
+        jw.beginArray();
+        for (const auto &res : results) {
+            if (res.ok)
+                jw.rawValue(res.output);
+        }
+        jw.endArray();
+        // The merged PDES partition-dependency table: every domain
+        // pair that exchanged messages, with the conservative
+        // lookahead (minimum link latency) joining it.
+        jw.key("partitions");
+        jw.beginObject();
+        jw.key("flows");
+        jw.beginArray();
+        for (const auto &[pair, count] : total.flows) {
+            jw.beginObject();
+            jw.kv("src", pair.first);
+            jw.kv("dst", pair.second);
+            jw.kv("count", count);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.key("lookahead");
+        jw.beginArray();
+        for (const auto &[pair, latency] : total.lookahead) {
+            jw.beginObject();
+            jw.kv("a", pair.first);
+            jw.kv("b", pair.second);
+            jw.kv("min_link_latency", latency);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+        jw.endObject();
+    }
+    doc << "\n";
+
+    if (json_path.empty()) {
+        std::cout << doc.str();
+        std::cout.flush();
+    } else {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "race: cannot open %s for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << doc.str();
+        if (!out.flush()) {
+            std::fprintf(stderr, "race: error writing %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "race: JSON written to %s\n",
+                     json_path.c_str());
+    }
+
+    std::fprintf(stderr,
+                 "race: %zu scenarios, %llu events, %llu accesses, "
+                 "%llu conflicts (%llu waived, %llu unwaived)\n",
+                 results.size(),
+                 static_cast<unsigned long long>(total.events),
+                 static_cast<unsigned long long>(total.accesses),
+                 static_cast<unsigned long long>(total.conflicts),
+                 static_cast<unsigned long long>(total.waived),
+                 static_cast<unsigned long long>(total.unwaived));
+    return (failures == 0 && total.unwaived == 0) ? 0 : 1;
+#endif // EHPSIM_RACE
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "race") == 0)
+        return raceMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return sweepMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "comm") == 0)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -519,6 +520,7 @@ CommGroup::start(Tick when, OpHandle op)
     op->started_ = true;
 
     ++ops_started;
+    op->id_ = static_cast<unsigned>(ops_started.value());
     bytesCounter(op->kind_) += static_cast<double>(op->data_bytes_);
 
     if (op->tasks_.empty()) {
@@ -587,6 +589,9 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
         // Exponential backoff, then try the same chunk again. The
         // op's pending count is untouched, so waitAll() keeps
         // driving the queue until the retry lands.
+        EHPSIM_TRACK_WRITE(
+            this,
+            ("op" + std::to_string(op->id_) + ".state").c_str());
         const Tick backoff = backoffTicks(t.attempt);
         ++chunk_retries;
         retry_wait_ticks += static_cast<double>(backoff);
@@ -601,6 +606,11 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
     // the lookup.
     const auto res = net_->sendOnRoute(
         eventq()->curTick(), routeFor(t.route_slot), t.bytes);
+    // Chunk completion mutates shared per-op state (link_bytes_,
+    // finish_ max-merge, dependent ready/deps, pending_); same-tick
+    // completions of one op are the canonical batch-reorder case.
+    EHPSIM_TRACK_WRITE(
+        this, ("op" + std::to_string(op->id_) + ".state").c_str());
     const auto moved =
         t.bytes * static_cast<std::uint64_t>(res.hops);
     op->link_bytes_ += moved;
@@ -621,6 +631,7 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
 void
 CommGroup::completeOp(CollectiveOp &op)
 {
+    EHPSIM_TRACK_WRITE(this, "stats.ops");
     ++ops_completed;
     last_finish_ = std::max(last_finish_, op.finish_);
     if (op.finish_ > op.start_)

@@ -103,6 +103,10 @@ class CollectiveOp
     /** The resolved algorithm (never Algorithm::automatic). */
     Algorithm algorithm() const { return algo_; }
 
+    /** 1-based start order within the owning group (0 before
+     *  start). Names the op deterministically in race reports. */
+    unsigned id() const { return id_; }
+
     /** The payload size the caller asked to move (per rank). */
     std::uint64_t dataBytes() const { return data_bytes_; }
 
@@ -154,6 +158,7 @@ class CollectiveOp
 
     Collective kind_ = Collective::allReduce;
     Algorithm algo_ = Algorithm::direct;
+    unsigned id_ = 0;
     std::uint64_t data_bytes_ = 0;
     std::uint64_t link_bytes_ = 0;
     bool started_ = false;

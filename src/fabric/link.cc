@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -95,6 +96,12 @@ Link::transfer(Tick when, std::uint64_t bytes, bool high_priority)
     if (killed_)
         panic(name(), ": transfer on a killed link (routing should "
               "have gone around it)");
+    // Same-tick transfers from different events contend for the
+    // occupancy queue; the tracker decides whether that order can
+    // matter. The rate/liveness read pairs with the kill()/derate()
+    // writes so a same-tick fault-vs-transfer collision is flagged.
+    EHPSIM_TRACK_READ(this, "state");
+    EHPSIM_TRACK_WRITE(this, "occupancy");
     // Serialization at the current (possibly derated) rate: the
     // occupancy charge for bulk traffic, the whole delay for
     // reserved-VC traffic, and the busy-accounting increment for
@@ -132,6 +139,7 @@ Link::kill()
 {
     if (killed_)
         fatal(name(), ": already killed");
+    EHPSIM_TRACK_WRITE(this, "state");
     killed_ = true;
 }
 
@@ -143,6 +151,8 @@ Link::derate(double factor)
     if (!(factor > 0.0) || factor > 1.0)
         fatal(name(), ": derate factor ", factor,
               " out of range (0, 1]");
+    // Rate change races with any same-tick transfer over this link.
+    EHPSIM_TRACK_WRITE(this, "state");
     derate_ *= factor;
     occupancy_.setBandwidth(effectiveBandwidth() /
                             static_cast<double>(ticksPerSecond));

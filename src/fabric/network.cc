@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -32,9 +33,26 @@ Network::addNode(const std::string &name, NodeKind kind)
         fatal("duplicate fabric node name '", name, "'");
     node_names_.push_back(name);
     node_kinds_.push_back(kind);
+    node_domains_.push_back(-1);
     adjacency_.emplace_back();
     invalidateRoutes();
     return id;
+}
+
+void
+Network::setNodeDomain(NodeId id, int domain)
+{
+    if (id >= numNodes())
+        fatal("bad node id ", id);
+    node_domains_[id] = domain;
+}
+
+int
+Network::nodeDomain(NodeId id) const
+{
+    if (id >= numNodes())
+        fatal("bad node id ", id);
+    return node_domains_[id];
 }
 
 void
@@ -50,6 +68,13 @@ Network::connect(NodeId a, NodeId b, const LinkParams &params)
         this, nodeName(a) + "_to_" + nodeName(b), params);
     links_[key_ba] = std::make_unique<Link>(
         this, nodeName(b) + "_to_" + nodeName(a), params);
+    // Each directed link belongs to its source node's partition;
+    // a cross-partition link feeds the PDES lookahead table with
+    // its propagation latency (the conservative sync horizon).
+    links_[key_ab]->setRaceDomain(node_domains_[a]);
+    links_[key_ba]->setRaceDomain(node_domains_[b]);
+    EHPSIM_RACE_PARTITION_LINK(node_domains_[a], node_domains_[b],
+                               params.latency);
     adjacency_[a].push_back(b);
     adjacency_[b].push_back(a);
     invalidateRoutes();
@@ -91,6 +116,9 @@ Network::killLink(NodeId a, NodeId b)
               " already killed");
     ab->kill();
     ba->kill();
+    // Structural mutation: any event sending over the fabric at the
+    // same tick races with the route invalidation below.
+    EHPSIM_TRACK_WRITE(this, "topology");
     std::erase(adjacency_[a], b);
     std::erase(adjacency_[b], a);
     faulted_ = true;
@@ -218,6 +246,8 @@ Network::linkRoute(NodeId src, NodeId dst) const
                 links_.find(std::make_pair(p[i], p[i + 1]));
             r.links.push_back(it->second.get());
         }
+        r.src_domain = node_domains_[src];
+        r.dst_domain = node_domains_[dst];
     }
     return r;
 }
@@ -248,6 +278,12 @@ MessageResult
 Network::sendOnRoute(Tick when, const LinkRoute &route,
                      std::uint64_t bytes, bool high_priority)
 {
+    // Sends consult the route tables killLink() mutates, and feed
+    // the partition dependency graph when the route crosses
+    // domains.
+    EHPSIM_TRACK_READ(this, "topology");
+    EHPSIM_TRACK_WRITE(this, "stats.messages");
+    EHPSIM_RACE_PARTITION_FLOW(route.src_domain, route.dst_domain);
     ++messages;
     MessageResult res;
     Tick t = when;

@@ -59,6 +59,11 @@ struct MessageResult
 struct LinkRoute
 {
     std::vector<Link *> links;
+    /** Partition domains of the route's endpoints (-1 when the
+     *  node declares none); lets sendOnRoute() record the
+     *  cross-partition flow without a per-send node lookup. */
+    int src_domain = -1;
+    int dst_domain = -1;
 };
 
 class Network : public SimObject
@@ -79,6 +84,17 @@ class Network : public SimObject
     const std::string &nodeName(NodeId id) const;
 
     NodeKind nodeKind(NodeId id) const { return node_kinds_[id]; }
+
+    /**
+     * Declare the partition domain (socket / IOD id — the
+     * prospective PDES logical process) of node @p id. Declare
+     * domains before connect(): links and the race lookahead table
+     * pick them up as connections are made. -1 clears.
+     */
+    void setNodeDomain(NodeId id, int domain);
+
+    /** Partition domain of @p id; -1 when undeclared. */
+    int nodeDomain(NodeId id) const;
 
     /** The unidirectional link from @p a to @p b (fatal if absent). */
     Link *link(NodeId a, NodeId b);
@@ -168,6 +184,7 @@ class Network : public SimObject
 
     std::vector<std::string> node_names_;
     std::vector<NodeKind> node_kinds_;
+    std::vector<int> node_domains_;
     std::map<std::string, NodeId> id_by_name_;
     std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
     std::vector<std::vector<NodeId>> adjacency_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/access_tracker.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -91,6 +92,10 @@ FaultInjector::arm()
         const double factor = lf.derate;
         const Tick when = std::max(lf.at, eventq()->curTick());
         eventq()->scheduleCallback(when, [this, a, b, factor] {
+            // Fault application mutates fabric state other events
+            // may be using this very tick; the tracker pairs this
+            // write with Link/Network reads to flag collisions.
+            EHPSIM_TRACK_WRITE(this, "injected");
             if (factor == 0.0) {
                 net_->killLink(a, b);
                 ++links_cut;
@@ -105,6 +110,7 @@ FaultInjector::arm()
         const unsigned channel = cf.channel;
         const Tick when = std::max(cf.at, eventq()->curTick());
         eventq()->scheduleCallback(when, [this, channel] {
+            EHPSIM_TRACK_WRITE(this, "injected");
             hbm_->blackoutChannel(channel);
             ++channels_blacked_out;
             ++faults_injected;

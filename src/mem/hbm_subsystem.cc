@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -53,6 +54,9 @@ HbmSubsystem::blackoutChannel(unsigned channel)
         fatal(name(), ": HBM channel ", channel, " already dark");
     if (live_channels_ == 1)
         fatal(name(), ": cannot blackout the last live HBM channel");
+    // The interleave remap below redirects every subsequent access;
+    // a same-tick accessor would see remap-order-dependent timing.
+    EHPSIM_TRACK_WRITE(this, "channels");
     channel_dead_[channel] = true;
     --live_channels_;
     ++channels_dark;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -129,6 +130,9 @@ ServingEngine::applyHbmDegrade()
                          / static_cast<double>(hbm_->numChannels());
     if (ratio == hbm_ratio_)
         return;
+    // KV-pool rescale after channel loss: races with any same-tick
+    // iteration using the old pool size.
+    EHPSIM_TRACK_WRITE(this, "kv_pool");
     hbm_ratio_ = ratio;
     ++hbm_derates;
     const auto scaled = static_cast<std::uint64_t>(
@@ -165,6 +169,9 @@ ServingEngine::step()
     if (busy_)
         return;
     const Tick now = curTick();
+    // The scheduler consumes the admission queue and KV pool both
+    // fault events and iteration completions mutate.
+    EHPSIM_TRACK_WRITE(this, "batcher");
     drainArrivals(now);
     applyHbmDegrade();
 
@@ -254,6 +261,10 @@ ServingEngine::finishRequest(Request &r, Tick now)
 void
 ServingEngine::finishIteration(Tick now)
 {
+    // Retires the in-flight plan and advances request/KV state; the
+    // batcher write pairs with step()'s so a same-tick completion
+    // vs. rescheduling collision is flagged.
+    EHPSIM_TRACK_WRITE(this, "batcher");
     for (const auto &[idx, chunk] : plan_.prefill) {
         Request &r = requests_[idx];
         if (r.state != RequestState::prefill)

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * ehpsim-race: the dynamic half of the determinism race detector.
+ *
+ * The event kernel guarantees a total order over (tick, priority,
+ * seq), but batched dispatch (DESIGN.md §11) and the planned PDES
+ * core (ROADMAP) are only *allowed* to exploit that order if no two
+ * events at the same (tick, priority) touch the same state — seq is
+ * an implementation tiebreak, not a scheduling contract. The
+ * AccessTracker checks exactly that property at runtime:
+ *
+ *  - every SimObject may declare a partition domain (the socket /
+ *    IOD id that would become a PDES logical process);
+ *  - instrumented state mutations pass through EHPSIM_TRACK_READ /
+ *    EHPSIM_TRACK_WRITE, which attribute the access to the event
+ *    the EventQueue is currently dispatching;
+ *  - two accesses to the same cell from *different* events at the
+ *    same (tick, priority), at least one a write, are an order
+ *    hazard: reordering the batch would change simulation results;
+ *  - an event that touches objects in two different domains within
+ *    one dispatch is a cross-partition access: a PDES blocker,
+ *    because the domains could not run on separate logical
+ *    processes without a synchronized channel.
+ *
+ * The tracker also collects the partition dependency data PDES
+ * needs: which domain pairs exchange messages (flows) and the
+ * minimum link latency joining each pair — the conservative
+ * lookahead table.
+ *
+ * Reports are emitted as the byte-deterministic `ehpsim-race-v1`
+ * JSON object (all aggregation is in sorted std::map keyed by
+ * strings and ints; no pointers, no wall time). Findings that are
+ * understood and provably order-independent (commutative counter
+ * updates, max-merges) are *waived* with a recorded rationale; CI
+ * asserts the unwaived count is zero.
+ *
+ * Build gating: this class always compiles (unit tests drive it
+ * directly), but the hooks — the EventQueue attribution calls and
+ * every EHPSIM_TRACK_* macro — are real code only when the
+ * EHPSIM_RACE CMake option defines EHPSIM_RACE=1. Release builds
+ * compile the macros to ((void)0), so instrumented hot paths are
+ * bit-identical to uninstrumented ones.
+ */
+
+#ifndef EHPSIM_SIM_ACCESS_TRACKER_HH
+#define EHPSIM_SIM_ACCESS_TRACKER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ehpsim
+{
+
+class SimObject;
+
+namespace json
+{
+class JsonWriter;
+}
+
+namespace race
+{
+
+class AccessTracker
+{
+  public:
+    AccessTracker() = default;
+
+    AccessTracker(const AccessTracker &) = delete;
+    AccessTracker &operator=(const AccessTracker &) = delete;
+
+    /** @{
+     * Event attribution. The EventQueue brackets every dispatch
+     * with beginEvent/endEvent (under EHPSIM_RACE); unit tests call
+     * them directly. Accesses recorded outside an event (object
+     * construction, topology building) are ignored — only
+     * event-driven mutations can race.
+     */
+    void beginEvent(Tick when, int priority, std::uint64_t seq);
+    void endEvent();
+    /** @} */
+
+    /**
+     * Record one access to @p cell of @p obj. The cell name is the
+     * object's stat path plus the cell suffix, so reports carry
+     * full provenance ("root.topo.net.s0_s1.occupancy"). @p obj may
+     * be null for free-standing state (cell is used verbatim).
+     */
+    void record(const SimObject *obj, const char *cell, bool is_write,
+                const char *file, int line);
+
+    /** @{
+     * Partition dependency data. recordPartitionLink() feeds the
+     * lookahead table (called from Network::connect when both
+     * endpoints carry domains); recordPartitionFlow() counts
+     * messages crossing a domain pair (called from
+     * Network::sendOnRoute). Both also fire implicitly when an
+     * event touches two domains.
+     */
+    void recordPartitionLink(int a, int b, Tick latency);
+    void recordPartitionFlow(int src, int dst);
+    /** @} */
+
+    /**
+     * Waive findings whose cell path contains @p pattern
+     * (substring match). Waived findings stay in the report with
+     * the rationale attached; they no longer count as unwaived.
+     * The rationale must say *why* the access order cannot change
+     * results (e.g. "commutative decrement").
+     */
+    void waive(std::string pattern, std::string rationale);
+
+    /** Distinct (deduplicated) findings. */
+    std::size_t conflictCount() const { return conflicts_.size(); }
+
+    std::size_t unwaivedCount() const;
+
+    std::size_t waivedCount() const
+    {
+        return conflicts_.size() - unwaivedCount();
+    }
+
+    std::uint64_t eventCount() const { return events_; }
+
+    std::uint64_t accessCount() const { return accesses_; }
+
+    /** Min link latency per ordered domain pair (a < b). */
+    const std::map<std::pair<int, int>, Tick> &
+    lookahead() const
+    {
+        return lookahead_;
+    }
+
+    /** Message count per ordered (src, dst) domain pair. */
+    const std::map<std::pair<int, int>, std::uint64_t> &
+    flows() const
+    {
+        return flows_;
+    }
+
+    /** Write the full ehpsim-race-v1 report as one JSON object. */
+    void dumpJson(json::JsonWriter &jw) const;
+
+    /**
+     * The tracker bound to this thread by TrackerScope, or null.
+     * Thread-local so every SweepRunner worker can drive its own
+     * scenario under its own tracker.
+     */
+    static AccessTracker *current();
+
+  private:
+    friend class TrackerScope;
+
+    struct Access
+    {
+        std::uint64_t seq;
+        bool write;
+        std::string site;   ///< "file.cc:123"
+    };
+
+    /** kind, cell, endpoint a, endpoint b. */
+    using ConflictKey =
+        std::tuple<std::string, std::string, std::string, std::string>;
+
+    struct ConflictInfo
+    {
+        std::uint64_t count = 0;
+        Tick first_tick = 0;
+    };
+
+    struct Waiver
+    {
+        std::string rationale;
+        mutable std::uint64_t uses = 0;
+    };
+
+    void noteConflict(const std::string &kind, const std::string &cell,
+                      std::string a, std::string b);
+
+    /** The waiver matching @p cell, or null. */
+    const Waiver *waiverFor(const std::string &cell) const;
+
+    bool in_event_ = false;
+    Tick cur_tick_ = 0;
+    int cur_priority_ = 0;
+    std::uint64_t cur_seq_ = 0;
+    int cur_domain_ = -1;
+
+    /** Accesses in the current (tick, priority) batch window,
+     *  per cell. Cleared when the window key changes, so memory is
+     *  bounded by the busiest single batch. */
+    Tick window_tick_ = 0;
+    int window_priority_ = 0;
+    std::map<std::string, std::vector<Access>> window_;
+    std::uint64_t window_drops_ = 0;
+
+    std::map<ConflictKey, ConflictInfo> conflicts_;
+    /** pattern -> waiver, iterated in sorted order. */
+    std::map<std::string, Waiver> waivers_;
+    std::map<std::pair<int, int>, Tick> lookahead_;
+    std::map<std::pair<int, int>, std::uint64_t> flows_;
+    std::uint64_t events_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+/**
+ * Bind @p t as the calling thread's current tracker for the scope's
+ * lifetime (restores the previous binding on exit). All EHPSIM_TRACK
+ * macros and EventQueue hooks on this thread route to it.
+ */
+class TrackerScope
+{
+  public:
+    explicit TrackerScope(AccessTracker *t);
+    ~TrackerScope();
+
+    TrackerScope(const TrackerScope &) = delete;
+    TrackerScope &operator=(const TrackerScope &) = delete;
+
+  private:
+    AccessTracker *prev_;
+};
+
+/**
+ * RAII bracket around one event dispatch. No-op when the thread has
+ * no current tracker; safe on the EventQueue's exception path.
+ */
+class EventDispatchScope
+{
+  public:
+    EventDispatchScope(Tick when, int priority, std::uint64_t seq);
+    ~EventDispatchScope();
+
+    EventDispatchScope(const EventDispatchScope &) = delete;
+    EventDispatchScope &operator=(const EventDispatchScope &) = delete;
+
+  private:
+    AccessTracker *t_;
+};
+
+/** @{ Free helpers the macros expand to; no-ops without a current
+ *  tracker, so instrumented code needs no tracker plumbing. */
+void trackRead(const SimObject *obj, const char *cell,
+               const char *file, int line);
+void trackWrite(const SimObject *obj, const char *cell,
+                const char *file, int line);
+void notePartitionLink(int a, int b, Tick latency);
+void notePartitionFlow(int src, int dst);
+/** @} */
+
+/**
+ * The project's standing waivers: access patterns reviewed and
+ * proven order-independent, applied by every race run (CLI, CI,
+ * tests). Each carries its rationale into the report. See
+ * DESIGN.md §14 for the policy on adding one.
+ */
+void addStandardWaivers(AccessTracker &t);
+
+} // namespace race
+} // namespace ehpsim
+
+/**
+ * Instrumentation macros. Real under -DEHPSIM_RACE=1 (the
+ * EHPSIM_RACE CMake option); ((void)0) otherwise, so release hot
+ * paths carry zero overhead and identical codegen.
+ */
+#ifdef EHPSIM_RACE
+#define EHPSIM_TRACK_READ(obj, cell) \
+    ::ehpsim::race::trackRead((obj), (cell), __FILE__, __LINE__)
+#define EHPSIM_TRACK_WRITE(obj, cell) \
+    ::ehpsim::race::trackWrite((obj), (cell), __FILE__, __LINE__)
+#define EHPSIM_RACE_PARTITION_LINK(a, b, latency) \
+    ::ehpsim::race::notePartitionLink((a), (b), (latency))
+#define EHPSIM_RACE_PARTITION_FLOW(src, dst) \
+    ::ehpsim::race::notePartitionFlow((src), (dst))
+#else
+#define EHPSIM_TRACK_READ(obj, cell) ((void)0)
+#define EHPSIM_TRACK_WRITE(obj, cell) ((void)0)
+#define EHPSIM_RACE_PARTITION_LINK(a, b, latency) ((void)0)
+#define EHPSIM_RACE_PARTITION_FLOW(src, dst) ((void)0)
+#endif
+
+#endif // EHPSIM_SIM_ACCESS_TRACKER_HH

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 
 namespace ehpsim
@@ -211,6 +212,12 @@ EventQueue::releaseOneShot(Event *ev)
 void
 EventQueue::fire(Event *ev)
 {
+#ifdef EHPSIM_RACE
+    // Attribute every access made by process() to this dispatch.
+    // RAII so the binding unwinds with the throwing fatal() path.
+    race::EventDispatchScope race_scope(cur_tick_, ev->priority_,
+                                        ev->seq_);
+#endif
     ev->scheduled_ = false;
     --live_count_;
     ++num_processed_;

@@ -1,0 +1,31 @@
+// Fixture: stable keys, pointer values, unordered pointer keys
+// (hashing, not ordering), and one suppressed deterministic
+// comparator (0 findings).
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+struct Node
+{
+    int id;
+    std::string name;
+};
+
+std::map<int, Node *> node_by_id;
+std::map<std::string, Node *> node_by_name;
+std::map<std::pair<unsigned, unsigned>, int> by_pair;
+std::set<int> ids;
+std::unordered_set<Node *> membership_only;
+
+struct ByNodeId
+{
+    bool operator()(const Node *a, const Node *b) const
+    {
+        return a->id < b->id;
+    }
+};
+
+// Comparator orders by the stable id, not the address.
+// ehpsim-lint: allow(pointer-key)
+std::set<Node *, ByNodeId> ordered_by_id;

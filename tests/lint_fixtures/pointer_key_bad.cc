@@ -1,0 +1,13 @@
+// Fixture: ordered containers keyed by raw pointers must be flagged
+// (3 findings).
+#include <map>
+#include <set>
+
+struct Node
+{
+    int id;
+};
+
+std::map<Node *, int> fanout_by_node;
+std::set<const Node *> visited;
+std::multimap<Node *, Node *> edges;

@@ -1,0 +1,22 @@
+// Fixture: immutable statics, functions, and one documented
+// suppression (0 findings).
+static const int k_limit = 64;
+static constexpr double k_ratio = 0.5;
+constexpr static unsigned k_width = 16;
+
+static int helperFunction(int x);
+
+static int
+helperFunction(int x)
+{
+    return x + k_limit;
+}
+
+struct Table
+{
+    static const char *name() { return "table"; }
+};
+
+// Interned registry shared on purpose; jobs never mutate it after
+// startup. ehpsim-lint: allow(static-state)
+static int g_registry_epoch = 0;

@@ -1,0 +1,12 @@
+// Fixture: mutable static / thread_local state must be flagged
+// (3 findings).
+static int g_job_counter = 0;
+
+thread_local unsigned t_scratch_bytes = 0;
+
+unsigned long long
+nextSerial()
+{
+    static unsigned long long serial = 0;
+    return ++serial;
+}

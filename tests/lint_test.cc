@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -163,6 +164,34 @@ TEST(LintFixtures, ChunkAllocAllowedIsClean)
     EXPECT_TRUE(lintFixture("comm/chunk_alloc_allowed.cc").empty());
 }
 
+TEST(LintFixtures, StaticStateBadIsFlagged)
+{
+    const auto findings = lintFixture("static_state_bad.cc");
+    // A file-scope static, a thread_local, and a function-local static.
+    EXPECT_EQ(countOnly(findings, Rule::staticState), 3u);
+}
+
+TEST(LintFixtures, StaticStateAllowedIsClean)
+{
+    // const/constexpr statics and static functions are immutable or
+    // stateless; the one mutable registry carries a documented allow().
+    EXPECT_TRUE(lintFixture("static_state_allowed.cc").empty());
+}
+
+TEST(LintFixtures, PointerKeyBadIsFlagged)
+{
+    const auto findings = lintFixture("pointer_key_bad.cc");
+    // map, set, and multimap each keyed by a raw pointer.
+    EXPECT_EQ(countOnly(findings, Rule::pointerKey), 3u);
+}
+
+TEST(LintFixtures, PointerKeyAllowedIsClean)
+{
+    // Pointer *values* are fine, unordered containers hash rather than
+    // order, and the id-comparator set carries a documented allow().
+    EXPECT_TRUE(lintFixture("pointer_key_allowed.cc").empty());
+}
+
 // ---------------------------------------------------------------------------
 // 2. Unit tests on inline snippets.
 // ---------------------------------------------------------------------------
@@ -279,6 +308,58 @@ TEST(LintUnit, CrossFileUnorderedDeclIsSeen)
     EXPECT_TRUE(lintFixture("cross_file_iter.cc").empty());
 }
 
+TEST(LintUnit, StaticStateSkipsConstAndFunctions)
+{
+    const std::string src =
+        "static const int k = 1;\n"
+        "static constexpr int k2 = 2;\n"
+        "static int helper(int);\n"
+        "static int counter = 0;\n";
+    const auto findings = lintContent("inline.cc", src, Options{});
+    ASSERT_EQ(countOnly(findings, Rule::staticState), 1u);
+    EXPECT_EQ(findings[0].line, 4);
+    EXPECT_NE(findings[0].message.find("counter"), std::string::npos);
+}
+
+TEST(LintUnit, StaticStateWhitelistsTrackerImpl)
+{
+    // The tracker's thread-local current-pointer is the sanctioned
+    // exception: it is the mechanism that *detects* shared state.
+    const std::string src = "thread_local int tl_cur = 0;\n";
+    EXPECT_TRUE(
+        lintContent("src/sim/access_tracker.cc", src, Options{}).empty());
+    EXPECT_EQ(lintContent("src/comm/comm_group.cc", src, Options{}).size(),
+              1u);
+    Options strict;
+    strict.default_whitelist = false;
+    EXPECT_EQ(
+        lintContent("src/sim/access_tracker.cc", src, strict).size(), 1u);
+}
+
+TEST(LintUnit, PointerKeyIgnoresValuesAndUnordered)
+{
+    const std::string src =
+        "std::map<int, Node *> values_ok;\n"
+        "std::unordered_map<Node *, int> hashed_ok;\n"
+        "std::map<Node *, int> flagged;\n";
+    const auto findings = lintContent("inline.cc", src, Options{});
+    ASSERT_EQ(countOnly(findings, Rule::pointerKey), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintUnit, PointerKeySeesMultiLineTemplates)
+{
+    // The key spans a line break; the finding lands on the container
+    // keyword's line and the message stays single-line.
+    const std::string src =
+        "std::map<\n"
+        "    Node *,\n"
+        "    int> spread;\n";
+    const auto findings = lintContent("inline.cc", src, Options{});
+    ASSERT_EQ(countOnly(findings, Rule::pointerKey), 1u);
+    EXPECT_EQ(findings[0].message.find('\n'), std::string::npos);
+}
+
 TEST(LintUnit, ParseRuleRoundTrips)
 {
     for (const Rule r : allRules()) {
@@ -326,4 +407,78 @@ TEST(LintCli, ExitCodesMatchContract)
     EXPECT_EQ(WEXITSTATUS(clean), 0);
     EXPECT_EQ(WEXITSTATUS(dirty), 1);
     EXPECT_EQ(WEXITSTATUS(usage), 2);
+}
+
+// ---------------------------------------------------------------------------
+// 4. JSON output: the machine-readable twin of the text form.
+// ---------------------------------------------------------------------------
+
+TEST(LintJson, EmptyFindingsProduceEmptyDocument)
+{
+    const std::string doc = toJson({});
+    EXPECT_NE(doc.find("\"schema\": \"ehpsim-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(doc.find("\"count\": 0"), std::string::npos);
+}
+
+TEST(LintJson, FindingsCarryFileLineRuleMessage)
+{
+    const auto findings =
+        lintContent("inline.cc", "static int g = 0;\n", Options{});
+    ASSERT_EQ(findings.size(), 1u);
+    const std::string doc = toJson(findings);
+    EXPECT_NE(doc.find("\"file\": \"inline.cc\""), std::string::npos);
+    EXPECT_NE(doc.find("\"line\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"rule\": \"static-state\""), std::string::npos);
+    EXPECT_NE(doc.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(LintJson, EscapesQuotesAndBackslashes)
+{
+    Finding f;
+    f.rule = Rule::wallClock;
+    f.file = "dir\\sub\\file.cc";
+    f.line = 7;
+    f.message = "uses \"now\"\nacross lines";
+    const std::string doc = toJson({f});
+    EXPECT_NE(doc.find("dir\\\\sub\\\\file.cc"), std::string::npos);
+    EXPECT_NE(doc.find("\\\"now\\\""), std::string::npos);
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+    EXPECT_EQ(doc.find("\"now\"\n"), std::string::npos);
+}
+
+TEST(LintJson, CliFormatJsonMatchesContract)
+{
+    const std::string bin(EHPSIM_LINT_BIN);
+    const std::string out = "/tmp/ehpsim_lint_json_test.json";
+
+    const int dirty = std::system(
+        (bin + " --format=json " + fixture("pointer_key_bad.cc") + " > " +
+         out + " 2> /dev/null")
+            .c_str());
+    ASSERT_NE(dirty, -1);
+    EXPECT_EQ(WEXITSTATUS(dirty), 1);
+
+    std::string doc;
+    {
+        std::FILE *fp = std::fopen(out.c_str(), "rb");
+        ASSERT_NE(fp, nullptr);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0)
+            doc.append(buf, n);
+        std::fclose(fp);
+    }
+    EXPECT_NE(doc.find("\"schema\": \"ehpsim-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"rule\": \"pointer-key\""), std::string::npos);
+    EXPECT_NE(doc.find("\"count\": 3"), std::string::npos);
+
+    const int bogus = std::system(
+        (bin + " --format=yaml " + fixture("pointer_key_bad.cc") +
+         " > /dev/null 2>&1")
+            .c_str());
+    ASSERT_NE(bogus, -1);
+    EXPECT_EQ(WEXITSTATUS(bogus), 2);
 }

@@ -855,6 +855,141 @@ checkChunkAlloc(const FileLintState &st)
 }
 
 void
+checkStaticState(const FileLintState &st)
+{
+    const std::string &code = st.code;
+    for (const char *kw : {"static", "thread_local"}) {
+        std::size_t p = 0;
+        while ((p = findWord(code, kw, p)) != std::string::npos) {
+            const std::size_t at = p;
+            p += std::string(kw).size();
+
+            // `const static int x` — a const-qualifier before the
+            // keyword still makes the object immutable.
+            std::size_t back = at;
+            while (back > 0 && isSpace(code[back - 1]))
+                --back;
+            std::size_t wb = back;
+            while (wb > 0 && isIdentChar(code[wb - 1]))
+                --wb;
+            const std::string before = code.substr(wb, back - wb);
+            if (before == "const" || before == "constexpr" ||
+                before == "constinit") {
+                continue;
+            }
+
+            // Walk the declaration tokens up to the declarator.
+            // Qualifiers anywhere make it immutable; a declarator
+            // followed by '(' is a function (or a direct-init
+            // variable — a documented imprecision the allow()
+            // hatch covers).
+            std::size_t i = skipSpace(code, p);
+            bool immutable = false;
+            std::string name;
+            while (i < code.size()) {
+                const char c = code[i];
+                if (c == '<') {
+                    const std::size_t past = skipAngles(code, i);
+                    if (past == std::string::npos)
+                        break;
+                    i = skipSpace(code, past);
+                } else if (isIdentChar(c)) {
+                    const std::string tok =
+                        readQualifiedIdent(code, i);
+                    i = skipSpace(code, i + tok.size());
+                    if (tok == "const" || tok == "constexpr" ||
+                        tok == "constinit") {
+                        immutable = true;
+                    } else if (tok != "inline" && tok != "static" &&
+                               tok != "thread_local" &&
+                               tok != "struct" && tok != "class" &&
+                               tok != "unsigned" && tok != "signed" &&
+                               tok != "long" && tok != "short") {
+                        name = tok;
+                    }
+                } else if (c == '*' || c == '&') {
+                    i = skipSpace(code, i + 1);
+                } else {
+                    break;
+                }
+            }
+            if (immutable || name.empty() || i >= code.size())
+                continue;
+            const char next = code[i];
+            if (next == '(')
+                continue;       // function declaration
+            if (next != '=' && next != ';' && next != '{' &&
+                next != '[') {
+                continue;       // not a declaration we understand
+            }
+            st.report(Rule::staticState, at,
+                      "mutable " + std::string(kw) + " state '" +
+                          name +
+                          "' — state outside the SimObject tree "
+                          "leaks between sweep jobs and races under "
+                          "parallel workers; make it a member, pass "
+                          "it explicitly, or const-qualify it");
+        }
+    }
+}
+
+void
+checkPointerKey(const FileLintState &st)
+{
+    const std::string &code = st.code;
+    for (const char *kw : {"map", "multimap", "set", "multiset"}) {
+        const bool is_map =
+            std::string(kw) == "map" || std::string(kw) == "multimap";
+        std::size_t p = 0;
+        while ((p = findWord(code, kw, p)) != std::string::npos) {
+            const std::size_t at = p;
+            p += std::string(kw).size();
+            std::size_t i = skipSpace(code, p);
+            if (i >= code.size() || code[i] != '<')
+                continue;
+            // The key type runs to the first depth-1 comma (map)
+            // or the closing angle (set).
+            std::size_t key_end = std::string::npos;
+            int depth = 0;
+            std::size_t j = i;
+            for (; j < code.size(); ++j) {
+                const char c = code[j];
+                if (c == '<') {
+                    ++depth;
+                } else if (c == '>') {
+                    if (--depth == 0) {
+                        if (!is_map)
+                            key_end = j;
+                        break;
+                    }
+                } else if (c == ',' && depth == 1 && is_map) {
+                    key_end = j;
+                    break;
+                } else if (c == ';') {
+                    break;
+                }
+            }
+            if (key_end == std::string::npos)
+                continue;
+            std::string key = code.substr(i + 1, key_end - i - 1);
+            if (key.find('*') == std::string::npos)
+                continue;
+            // Keep the message single-line for the "file:line:rule:
+            // message" output contract.
+            std::replace(key.begin(), key.end(), '\n', ' ');
+            st.report(
+                Rule::pointerKey, at,
+                "ordered container '" + std::string(kw) +
+                    "' keyed by a raw pointer (" + key +
+                    ") — pointer order is allocator-dependent, so "
+                    "iteration order varies run to run; key by a "
+                    "stable id or name (or allow() with a "
+                    "deterministic custom comparator)");
+        }
+    }
+}
+
+void
 lintOne(const std::string &file, const std::string &content,
         const RunContext &ctx, const Options &opts,
         std::vector<Finding> &findings)
@@ -887,6 +1022,13 @@ lintOne(const std::string &file, const std::string &content,
         // only the collective-construction hot path bans them.
         if (r == Rule::chunkAlloc && !pathContains(file, "comm/"))
             return false;
+        // The race tracker's thread-local current-tracker binding is
+        // the sanctioned piece of non-member state (one per worker
+        // thread, never shared).
+        if (r == Rule::staticState &&
+            pathContains(file, "sim/access_tracker")) {
+            return false;
+        }
         return true;
     };
 
@@ -906,6 +1048,10 @@ lintOne(const std::string &file, const std::string &content,
         checkFloatArith(st);
     if (enabled(Rule::chunkAlloc))
         checkChunkAlloc(st);
+    if (enabled(Rule::staticState))
+        checkStaticState(st);
+    if (enabled(Rule::pointerKey))
+        checkPointerKey(st);
 }
 
 bool
@@ -942,6 +1088,10 @@ ruleName(Rule r)
         return "float-arith";
       case Rule::chunkAlloc:
         return "chunk-alloc";
+      case Rule::staticState:
+        return "static-state";
+      case Rule::pointerKey:
+        return "pointer-key";
     }
     return "unknown";
 }
@@ -962,9 +1112,10 @@ const std::vector<Rule> &
 allRules()
 {
     static const std::vector<Rule> rules = {
-        Rule::wallClock,  Rule::rawRand, Rule::unorderedIter,
+        Rule::wallClock,  Rule::rawRand,    Rule::unorderedIter,
         Rule::eventNew,   Rule::eventAlloc,
         Rule::dupStat,    Rule::floatArith, Rule::chunkAlloc,
+        Rule::staticState, Rule::pointerKey,
     };
     return rules;
 }
@@ -1003,6 +1154,15 @@ ruleRationale(Rule r)
                "std::vector built inside a loop allocates every "
                "iteration — use closed-form counts or reused "
                "scratch buffers (applies to comm/ paths)";
+      case Rule::staticState:
+        return "mutable globals / function-static locals live "
+               "outside the SimObject tree: they leak between sweep "
+               "jobs and race under parallel workers (whitelist: "
+               "sim/access_tracker)";
+      case Rule::pointerKey:
+        return "ordered containers keyed by raw pointers iterate in "
+               "allocator-dependent order; key by a stable id or "
+               "name instead";
     }
     return "";
 }
@@ -1013,6 +1173,66 @@ toString(const Finding &f)
     std::ostringstream os;
     os << f.file << ":" << f.line << ":" << ruleName(f.rule) << ": "
        << f.message;
+    return os.str();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (the linter is dependency-free and
+ *  does not link the simulator's json library). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+toJson(const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"ehpsim-lint-v1\",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? ",\n" : "\n")
+           << "    {\n"
+           << "      \"file\": \"" << jsonEscape(f.file) << "\",\n"
+           << "      \"line\": " << f.line << ",\n"
+           << "      \"rule\": \"" << ruleName(f.rule) << "\",\n"
+           << "      \"message\": \"" << jsonEscape(f.message)
+           << "\"\n"
+           << "    }";
+    }
+    os << (findings.empty() ? "" : "\n  ") << "],\n  \"count\": "
+       << findings.size() << "\n}\n";
     return os.str();
 }
 

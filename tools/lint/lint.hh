@@ -22,6 +22,16 @@
  *                   collective-construction loops (src/comm); the
  *                   chunk DAG builders are a per-chunk hot path and
  *                   use closed-form counts or reused scratch buffers
+ *   static-state    no mutable globals or function-static locals:
+ *                   state shared behind the SimObject tree's back
+ *                   leaks between sweep jobs and races under
+ *                   parallel workers (whitelist: sim/access_tracker,
+ *                   whose thread-local binding is the sanctioned
+ *                   exception)
+ *   pointer-key     no ordered containers (std::map/set) keyed by
+ *                   raw pointers: pointer order is
+ *                   allocator-dependent, so iteration order varies
+ *                   run to run
  *
  * Findings can be suppressed with a comment on the same or the
  * preceding line:
@@ -64,6 +74,8 @@ enum class Rule
     dupStat,
     floatArith,
     chunkAlloc,
+    staticState,
+    pointerKey,
 };
 
 /** The stable name used in output lines and allow() directives. */
@@ -89,6 +101,13 @@ struct Finding
 
 /** Render as the machine-readable "file:line:rule: message" form. */
 std::string toString(const Finding &f);
+
+/**
+ * Render a finding set as the ehpsim-lint-v1 JSON document
+ * (deterministic: findings are already sorted by lintFiles). Used
+ * by `ehpsim-lint --format=json` and CI annotation tooling.
+ */
+std::string toJson(const std::vector<Finding> &findings);
 
 struct Options
 {

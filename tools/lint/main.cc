@@ -3,10 +3,12 @@
  * ehpsim-lint command-line driver.
  *
  *     ehpsim-lint [--rule <name>]... [--no-default-whitelist] \
- *                 [--list-rules] <path>...
+ *                 [--format=text|json] [--list-rules] <path>...
  *
  * Paths may be files or directories (recursed for .hh/.h/.hpp/.cc/
- * .cpp). Findings print one per line as "file:line:rule: message".
+ * .cpp). Findings print one per line as "file:line:rule: message"
+ * (the form the CI problem matcher parses), or as the
+ * ehpsim-lint-v1 JSON document with --format=json.
  * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
  */
 
@@ -25,7 +27,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: ehpsim-lint [--rule <name>]... "
-        "[--no-default-whitelist] [--list-rules] <path>...\n");
+        "[--no-default-whitelist] [--format=text|json] "
+        "[--list-rules] <path>...\n");
 }
 
 } // anonymous namespace
@@ -37,9 +40,32 @@ main(int argc, char **argv)
 
     Options opts;
     std::vector<std::string> paths;
+    bool json = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--list-rules") {
+        if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+            std::string fmt;
+            if (arg == "--format") {
+                if (i + 1 >= argc) {
+                    usage();
+                    return 2;
+                }
+                fmt = argv[++i];
+            } else {
+                fmt = arg.substr(std::string("--format=").size());
+            }
+            if (fmt == "json") {
+                json = true;
+            } else if (fmt == "text") {
+                json = false;
+            } else {
+                std::fprintf(stderr,
+                             "ehpsim-lint: unknown format '%s' "
+                             "(text or json)\n",
+                             fmt.c_str());
+                return 2;
+            }
+        } else if (arg == "--list-rules") {
             for (const Rule r : allRules()) {
                 std::printf("%-15s %s\n", ruleName(r),
                             ruleRationale(r));
@@ -86,8 +112,12 @@ main(int argc, char **argv)
     }
 
     const std::vector<Finding> findings = lintFiles(files, opts);
-    for (const Finding &f : findings)
-        std::printf("%s\n", toString(f).c_str());
+    if (json) {
+        std::fputs(toJson(findings).c_str(), stdout);
+    } else {
+        for (const Finding &f : findings)
+            std::printf("%s\n", toString(f).c_str());
+    }
     std::fprintf(stderr, "ehpsim-lint: %zu file(s), %zu finding(s)\n",
                  files.size(), findings.size());
     return findings.empty() ? 0 : 1;
