@@ -17,20 +17,22 @@
  *              [--collective all_reduce|all_gather|reduce_scatter|
  *               broadcast|all_to_all]
  *              [--algos ring,direct,auto] [--sizes 1M,16M,64M]
- *              [--jobs N] [--json FILE]
+ *              [--pdes N] [--jobs N] [--json FILE]
  *
  *   ehpsim_cli fault [--topology quad|octo] [--collective C]
  *              [--algos ring,direct] [--sizes 1M,16M,64M]
  *              [--rates 0,0.005,0.02] [--seed N]
  *              [--kill a:b@tick[*factor]] [--max-retries N]
- *              [--retry-timeout TICKS] [--jobs N] [--json FILE]
+ *              [--retry-timeout TICKS] [--pdes N] [--jobs N]
+ *              [--json FILE]
  *
  *   ehpsim_cli serve [--devices mi300x,baseline] [--loads 0.25,1.0]
  *              [--tp 1|2|4|8] [--requests N] [--input-tokens N]
  *              [--output-tokens N] [--seed N] [--bursty]
  *              [--token-budget N] [--max-batch N] [--kv-blocks N]
  *              [--error-rate R] [--kill a:b@tick[*factor]]
- *              [--blackout ch@tick] [--jobs N] [--json FILE]
+ *              [--blackout ch@tick] [--pdes N] [--jobs N]
+ *              [--json FILE]
  *
  *   ehpsim_cli race [--bytes SIZE] [--requests N] [--seed N]
  *              [--jobs N] [--json FILE]
@@ -60,6 +62,15 @@
  * --blackout — the fault injector degrading service mid-run. Each
  * job reports TTFT/TPOT percentiles, tokens/s, SLO attainment, and
  * the KV eviction/retry counters.
+ *
+ * The comm, fault, and serve subcommands accept --pdes N to run
+ * each job's simulation on the conservative parallel core
+ * (DESIGN.md §15): the node graph is partitioned into N logical
+ * processes synchronized by min-link-latency lookahead. Output is
+ * byte-identical to the serial run — `cmp` the two JSON documents to
+ * check — so the knob trades wall time only. sweep accepts the flag
+ * for driver symmetry but ignores it (its jobs are per-partition
+ * roofline/event sims with no cross-partition traffic to overlap).
  *
  * The race subcommand (requires a -DEHPSIM_RACE=ON build; exits 2
  * otherwise) runs the octo all-reduce and a fixed-seed serving
@@ -103,6 +114,7 @@
 #include "core/trace.hh"
 #include "serve/scenario.hh"
 #include "sim/logging.hh"
+#include "sim/pdes/pdes_engine.hh"
 #include "soc/node_topology.hh"
 #include "sweep/sweep_runner.hh"
 #include "workloads/generators.hh"
@@ -142,7 +154,7 @@ usage(const char *argv0)
                  "[--json FILE] [--scale N] [--stats]\n"
                  "       %s comm [--topology quad|octo] "
                  "[--collective C] [--algos a,b,...]\n"
-                 "          [--sizes 1M,64M,...] [--jobs N] "
+                 "          [--sizes 1M,64M,...] [--pdes N] [--jobs N] "
                  "[--json FILE]\n"
                  "       %s fault [--topology quad|octo] "
                  "[--collective C] [--algos a,b,...]\n"
@@ -150,8 +162,8 @@ usage(const char *argv0)
                  "[--seed N]\n"
                  "          [--kill a:b@tick[*factor]] "
                  "[--max-retries N]\n"
-                 "          [--retry-timeout TICKS] [--jobs N] "
-                 "[--json FILE]\n"
+                 "          [--retry-timeout TICKS] [--pdes N] "
+                 "[--jobs N] [--json FILE]\n"
                  "       %s serve [--devices a,b] [--loads r,s,...] "
                  "[--tp N]\n"
                  "          [--requests N] [--input-tokens N] "
@@ -160,7 +172,7 @@ usage(const char *argv0)
                  "[--max-batch N]\n"
                  "          [--kv-blocks N] [--error-rate R] "
                  "[--kill a:b@tick[*factor]]\n"
-                 "          [--blackout ch@tick] [--jobs N] "
+                 "          [--blackout ch@tick] [--pdes N] [--jobs N] "
                  "[--json FILE]\n"
                  "       %s race [--bytes SIZE] [--requests N] "
                  "[--seed N]\n"
@@ -354,6 +366,11 @@ sweepMain(int argc, char **argv)
             scale = std::stoull(next());
         else if (arg == "--stats")
             with_stats = true;
+        else if (arg == "--pdes")
+            // Accepted for driver symmetry with comm/fault/serve and
+            // ignored: sweep jobs are independent single-partition
+            // sims, so the parallel core degenerates to serial.
+            (void)std::stoul(next());
         else
             usage(argv[0]);
     }
@@ -456,10 +473,12 @@ algorithmFor(const std::string &name)
     fatal("unknown algorithm '", name, "' (ring, direct, auto)");
 }
 
-/** Run one collective microbenchmark point and serialize it. */
+/** Run one collective microbenchmark point and serialize it. pdes >
+ *  0 runs the simulation on that many conservative partitions; the
+ *  JSON below is byte-identical either way. */
 void
 runCommJob(const std::string &topology, comm::Collective coll,
-           comm::Algorithm algo, std::uint64_t bytes,
+           comm::Algorithm algo, std::uint64_t bytes, unsigned pdes,
            json::JsonWriter &jw)
 {
     SimObject root(nullptr, "root");
@@ -471,6 +490,13 @@ runCommJob(const std::string &topology, comm::Collective coll,
     params.chunk_bytes = 1 * MiB;
     comm::CommGroup group(topo.get(), "comm", topo->network(),
                           topo->deviceRanks(), &eq, params);
+
+    std::unique_ptr<pdes::PdesEngine> engine;
+    if (pdes > 0) {
+        engine = std::make_unique<pdes::PdesEngine>(
+            &eq, topo->network(), pdes);
+        group.attachPdes(engine.get());
+    }
 
     comm::OpHandle op;
     switch (coll) {
@@ -491,6 +517,8 @@ runCommJob(const std::string &topology, comm::Collective coll,
         break;
     }
     group.waitAll();
+    if (engine)
+        group.attachPdes(nullptr);
 
     jw.beginObject();
     jw.kv("topology", topology);
@@ -515,6 +543,7 @@ commMain(int argc, char **argv)
     std::vector<std::string> sizes = {"1M", "16M", "64M"};
     std::string json_path;
     unsigned jobs = 1;
+    unsigned pdes = 0;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -531,6 +560,8 @@ commMain(int argc, char **argv)
             algos = splitList(next());
         else if (arg == "--sizes")
             sizes = splitList(next());
+        else if (arg == "--pdes")
+            pdes = std::stoul(next());
         else if (arg == "--jobs")
             jobs = std::stoul(next());
         else if (arg == "--json")
@@ -553,7 +584,7 @@ commMain(int argc, char **argv)
                               algo_name + "/" + size,
                           [=](json::JsonWriter &jw) {
                               runCommJob(topology, coll, algo, bytes,
-                                         jw);
+                                         pdes, jw);
                           });
         }
     }
@@ -604,7 +635,7 @@ void
 runFaultJob(const std::string &topology, comm::Collective coll,
             comm::Algorithm algo, std::uint64_t bytes,
             const fault::FaultPlan &plan, const comm::CommParams &params,
-            json::JsonWriter &jw)
+            unsigned pdes, json::JsonWriter &jw)
 {
     SimObject root(nullptr, "root");
     auto topo = topology == "quad"
@@ -618,6 +649,17 @@ runFaultJob(const std::string &topology, comm::Collective coll,
     injector.attachNetwork(topo->network());
     injector.attachCommGroup(&group);
     injector.arm();
+
+    // Scheduled link kills land on the coordinator queue and bump
+    // the route epoch; the engine collapses partition groups at the
+    // next window boundary, so the faulted schedule (and the JSON
+    // below) is byte-identical to the serial run's.
+    std::unique_ptr<pdes::PdesEngine> engine;
+    if (pdes > 0) {
+        engine = std::make_unique<pdes::PdesEngine>(
+            &eq, topo->network(), pdes);
+        group.attachPdes(engine.get());
+    }
 
     comm::OpHandle op;
     switch (coll) {
@@ -638,6 +680,8 @@ runFaultJob(const std::string &topology, comm::Collective coll,
         break;
     }
     group.waitAll();
+    if (engine)
+        group.attachPdes(nullptr);
 
     jw.beginObject();
     jw.kv("topology", topology);
@@ -673,6 +717,7 @@ faultMain(int argc, char **argv)
     std::uint64_t seed = 1;
     std::string json_path;
     unsigned jobs = 1;
+    unsigned pdes = 0;
     comm::CommParams params;
     params.chunk_bytes = 1 * MiB;
     // See ablation_resilience: a timeout-based retransmit has to
@@ -704,6 +749,8 @@ faultMain(int argc, char **argv)
             params.max_retries = std::stoul(next());
         else if (arg == "--retry-timeout")
             params.retry_timeout = std::stoull(next());
+        else if (arg == "--pdes")
+            pdes = std::stoul(next());
         else if (arg == "--jobs")
             jobs = std::stoul(next());
         else if (arg == "--json")
@@ -733,7 +780,7 @@ faultMain(int argc, char **argv)
                               [=](json::JsonWriter &jw) {
                                   runFaultJob(topology, coll, algo,
                                               bytes, plan, params,
-                                              jw);
+                                              pdes, jw);
                               });
             }
         }
@@ -836,6 +883,8 @@ serveMain(int argc, char **argv)
         else if (arg == "--blackout")
             base.faults.channel_faults.push_back(
                 parseChannelFault(next()));
+        else if (arg == "--pdes")
+            base.pdes = std::stoul(next());
         else if (arg == "--jobs")
             jobs = std::stoul(next());
         else if (arg == "--json")
@@ -901,11 +950,14 @@ serveMain(int argc, char **argv)
     return failures == 0 ? 0 : 1;
 }
 
+#ifdef EHPSIM_RACE
 /**
  * Per-scenario data the race jobs extract for the merged top-level
  * report. Slots are preallocated per job index and each written by
  * exactly one worker, so no synchronization is needed beyond the
- * runner's own join.
+ * runner's own join. Only compiled with the tracker hooks: in a
+ * plain build raceMain exits early and these helpers would trip
+ * -Wunused-function under the -Werror gate.
  */
 struct RaceJobData
 {
@@ -988,6 +1040,7 @@ runRaceServeJob(unsigned requests, std::uint64_t seed,
     dumpRaceScenario(jw, "serve_octo_tp2", t);
     extractRaceData(t, out);
 }
+#endif // EHPSIM_RACE
 
 int
 raceMain(int argc, char **argv)

@@ -4,6 +4,7 @@
 
 #include "sim/access_tracker.hh"
 #include "sim/logging.hh"
+#include "sim/pdes/pdes_engine.hh"
 
 namespace ehpsim
 {
@@ -47,10 +48,11 @@ algorithmName(Algorithm a)
 double
 CollectiveOp::algoBandwidth() const
 {
-    if (finish_ <= start_)
+    const Tick fin = finishTick();
+    if (fin <= start_)
         return 0.0;
     return static_cast<double>(data_bytes_) /
-           secondsFromTicks(finish_ - start_);
+           secondsFromTicks(fin - start_);
 }
 
 CommGroup::CommGroup(SimObject *parent, const std::string &name,
@@ -131,7 +133,8 @@ CommGroup::CommGroup(SimObject *parent, const std::string &name,
     // LinkRoute pointers are what runTask() replays per chunk;
     // routeFor() re-resolves them if the fabric reroutes.
     pair_routes_.assign(ranks_.size() * ranks_.size(), nullptr);
-    route_epoch_ = net_->routeEpoch();
+    pair_epochs_.assign(ranks_.size() * ranks_.size(),
+                        net_->routeEpoch());
     links_.reserve(ranks_.size() * (ranks_.size() - 1));
     for (std::size_t i = 0; i < ranks_.size(); ++i) {
         for (std::size_t j = 0; j < ranks_.size(); ++j) {
@@ -280,17 +283,18 @@ const fabric::LinkRoute &
 CommGroup::routeFor(std::uint32_t slot)
 {
     // A topology mutation (killLink and friends) destroys the
-    // network's LinkRoute storage, so every cached pointer is stale
-    // the moment the epoch moves — drop them all and re-resolve on
-    // demand, which also recomputes paths around dead links.
-    if (route_epoch_ != net_->routeEpoch()) {
-        std::fill(pair_routes_.begin(), pair_routes_.end(), nullptr);
-        route_epoch_ = net_->routeEpoch();
-    }
+    // network's LinkRoute storage, so a cached pointer is stale the
+    // moment the epoch moves — re-resolve on demand, which also
+    // recomputes paths around dead links. Staleness is tracked per
+    // slot (not one group-wide epoch flushing every slot at once):
+    // under PDES each slot belongs to its source rank's worker
+    // group, and a group may only touch its own slots.
+    const std::uint64_t epoch = net_->routeEpoch();
     const fabric::LinkRoute *&r = pair_routes_[slot];
-    if (!r) {
+    if (!r || pair_epochs_[slot] != epoch) {
         const unsigned n = numRanks();
         r = &net_->linkRoute(ranks_[slot / n], ranks_[slot % n]);
+        pair_epochs_[slot] = epoch;
     }
     return *r;
 }
@@ -536,8 +540,12 @@ CommGroup::start(Tick when, OpHandle op)
     // Retire finished handles here as well as in waitAll(), so
     // event-driven callers that never block (the serving engine)
     // keep outstanding_ bounded by the ops actually in flight.
+    // retired_ rather than done(): under PDES completeOp() runs as
+    // a deferred coordinator event after pending_ hits zero, and an
+    // op isn't finished until its stats are sampled and its
+    // completion callback has fired.
     std::erase_if(outstanding_,
-                  [](const OpHandle &o) { return o->done(); });
+                  [](const OpHandle &o) { return o->retired_; });
     outstanding_.push_back(op);
     for (std::uint32_t i = 0; i < op->tasks_.size(); ++i) {
         if (op->tasks_[i].deps == 0)
@@ -546,14 +554,27 @@ CommGroup::start(Tick when, OpHandle op)
     return op;
 }
 
+EventQueue *
+CommGroup::execQueue(const CollectiveOp::Task &t)
+{
+    if (!engine_)
+        return eventq();
+    return engine_->queueForDomain(net_->nodeDomain(t.src));
+}
+
 void
 CommGroup::scheduleTask(const OpHandle &op, std::uint32_t idx)
 {
     // Pool fast path: the capture (this, OpHandle, idx) fits a
     // recycled slot, so per-chunk scheduling allocates nothing in
-    // steady state.
-    eventq()->scheduleCallback(op->tasks_[idx].ready,
-                               [this, op, idx] { runTask(op, idx); });
+    // steady state. Under PDES the event goes to the partition
+    // queue of the chunk's source domain; callers only reach here
+    // from contexts allowed to touch that queue (the coordinator
+    // with workers parked, the owning group's worker, or a mailbox
+    // drain).
+    execQueue(op->tasks_[idx])
+        ->scheduleCallback(op->tasks_[idx].ready,
+                           [this, op, idx] { runTask(op, idx); });
 }
 
 void
@@ -562,12 +583,77 @@ CommGroup::setChunkFaultHook(ChunkFaultHook hook)
     fault_hook_ = std::move(hook);
 }
 
+void
+CommGroup::setChunkFaultSink(std::function<void(std::uint64_t)> sink)
+{
+    fault_sink_ = std::move(sink);
+}
+
+void
+CommGroup::attachPdes(pdes::PdesEngine *engine)
+{
+    std::erase_if(outstanding_,
+                  [](const OpHandle &o) { return o->retired_; });
+    if (!outstanding_.empty()) {
+        fatal("CommGroup '", name(), "': attachPdes with ",
+              outstanding_.size(), " collectives in flight");
+    }
+    engine_ = engine;
+    shards_.clear();
+    if (!engine_)
+        return;
+    shards_.resize(engine_->partitions());
+    // Declare every ordered rank pair: the engine derives the
+    // lookahead table and the direct-link ownership check from them.
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        for (std::size_t j = 0; j < ranks_.size(); ++j) {
+            if (i != j)
+                engine_->declareTraffic(ranks_[i], ranks_[j]);
+        }
+    }
+    engine_->addFlushHook([this] { flushShards(); });
+}
+
+void
+CommGroup::flushShards()
+{
+    for (PdesShard &s : shards_) {
+        chunk_retries += static_cast<double>(s.chunk_retries);
+        retry_wait_ticks += static_cast<double>(s.retry_wait_ticks);
+        for (const double v : s.retry_samples)
+            retry_latency.sample(v);
+        link_bytes += static_cast<double>(s.link_bytes);
+        if (s.send.messages != 0) {
+            net_->messages += static_cast<double>(s.send.messages);
+            net_->total_hops += static_cast<double>(s.send.hops);
+        }
+        if (fault_sink_ && s.fault_hits != 0)
+            fault_sink_(s.fault_hits);
+        s.chunk_retries = 0;
+        s.retry_wait_ticks = 0;
+        s.link_bytes = 0;
+        s.fault_hits = 0;
+        s.retry_samples.clear();
+        s.send = fabric::Network::SendCounters{};
+    }
+}
+
 Tick
 CommGroup::backoffTicks(unsigned attempt) const
 {
+    // Saturating: retry policies with a large max_retries or a steep
+    // backoff_base push retry_timeout * base^(attempt-1) past the
+    // Tick range, and the unchecked double -> Tick cast of such a
+    // value is undefined behavior. Any backoff at or beyond
+    // maxBackoff already outlives every simulation, so clamp there.
     double d = static_cast<double>(params_.retry_timeout);
-    for (unsigned i = 1; i < attempt; ++i)
+    for (unsigned i = 1; i < attempt; ++i) {
         d *= params_.backoff_base;
+        if (d >= static_cast<double>(maxBackoff))
+            return maxBackoff;
+    }
+    if (d >= static_cast<double>(maxBackoff))
+        return maxBackoff;
     return static_cast<Tick>(d);
 }
 
@@ -575,9 +661,19 @@ void
 CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
 {
     CollectiveOp::Task &t = op->tasks_[idx];
+    // The executing queue: the partition queue owning t.src's domain
+    // under PDES, the group's serial queue otherwise. my_dom < 0
+    // means coordinator context (workers parked), where everything
+    // may be touched directly.
+    EventQueue *q = execQueue(t);
+    const int my_dom = engine_ ? net_->nodeDomain(t.src) : -1;
+    PdesShard *shard =
+        engine_ && my_dom >= 0
+            ? &shards_[engine_->partitionOfDomain(my_dom)]
+            : nullptr;
     if (fault_hook_ &&
-        fault_hook_(eventq()->curTick(), t.src, t.dst, t.bytes,
-                    t.attempt + 1)) {
+        fault_hook_({q->curTick(), t.src, t.dst, t.bytes,
+                     t.attempt + 1, op->id_, idx})) {
         ++t.attempt;
         if (t.attempt > params_.max_retries) {
             fatal("CommGroup '", name(), "': chunk ",
@@ -593,19 +689,31 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
             this,
             ("op" + std::to_string(op->id_) + ".state").c_str());
         const Tick backoff = backoffTicks(t.attempt);
-        ++chunk_retries;
-        retry_wait_ticks += static_cast<double>(backoff);
-        retry_latency.sample(static_cast<double>(backoff));
-        eventq()->scheduleCallback(
-            eventq()->curTick() + backoff,
-            [this, op, idx] { runTask(op, idx); });
+        if (shard) {
+            ++shard->chunk_retries;
+            shard->retry_wait_ticks += backoff;
+            shard->retry_samples.push_back(
+                static_cast<double>(backoff));
+            if (fault_sink_)
+                ++shard->fault_hits;
+        } else {
+            ++chunk_retries;
+            retry_wait_ticks += static_cast<double>(backoff);
+            retry_latency.sample(static_cast<double>(backoff));
+            if (fault_sink_)
+                fault_sink_(1);
+        }
+        q->scheduleCallback(q->curTick() + backoff,
+                            [this, op, idx] { runTask(op, idx); });
         return;
     }
     // Replay the cached route: no per-chunk route-table walk. Tasks
     // always join distinct ranks, so this is exactly send() minus
     // the lookup.
-    const auto res = net_->sendOnRoute(
-        eventq()->curTick(), routeFor(t.route_slot), t.bytes);
+    const auto res =
+        net_->sendOnRoute(q->curTick(), routeFor(t.route_slot),
+                          t.bytes, false, shard ? &shard->send
+                                                : nullptr);
     // Chunk completion mutates shared per-op state (link_bytes_,
     // finish_ max-merge, dependent ready/deps, pending_); same-tick
     // completions of one op are the canonical batch-reorder case.
@@ -613,34 +721,91 @@ CommGroup::runTask(const OpHandle &op, std::uint32_t idx)
         this, ("op" + std::to_string(op->id_) + ".state").c_str());
     const auto moved =
         t.bytes * static_cast<std::uint64_t>(res.hops);
-    op->link_bytes_ += moved;
-    link_bytes += static_cast<double>(moved);
-    op->finish_ = std::max(op->finish_, res.arrival);
+    op->link_bytes_.fetch_add(moved, std::memory_order_relaxed);
+    if (shard)
+        shard->link_bytes += moved;
+    else
+        link_bytes += static_cast<double>(moved);
+    // Max-merge the finish tick. Relaxed is enough: the final
+    // pending_ decrement below is acq_rel, so the completing
+    // context sees every task's contribution.
+    Tick prev = op->finish_.load(std::memory_order_relaxed);
+    while (prev < res.arrival &&
+           !op->finish_.compare_exchange_weak(
+               prev, res.arrival, std::memory_order_relaxed)) {
+    }
 
     const std::uint32_t *dep = op->dag_.data() + t.dep_off;
     for (std::uint32_t k = 0; k < t.dep_cnt; ++k) {
-        CollectiveOp::Task &dt = op->tasks_[dep[k]];
-        dt.ready = std::max(dt.ready, res.arrival);
-        if (--dt.deps == 0)
-            scheduleTask(op, dep[k]);
+        const std::uint32_t di = dep[k];
+        // A dependent in this task's own worker group (or any
+        // dependent, when executing on the coordinator with workers
+        // parked) is notified directly: its Task fields and queue
+        // are exclusively ours right now. A cross-group dependent
+        // goes through the mailbox — its arrival is >= one link
+        // latency past this window's bound, so draining at the
+        // boundary never reorders anything.
+        if (!shard ||
+            engine_->sameGroup(my_dom,
+                               net_->nodeDomain(
+                                   op->tasks_[di].src))) {
+            CollectiveOp::Task &dt = op->tasks_[di];
+            dt.ready = std::max(dt.ready, res.arrival);
+            if (--dt.deps == 0)
+                scheduleTask(op, di);
+        } else {
+            const Tick arrival = res.arrival;
+            engine_->postCross(
+                engine_->partitionOfDomain(my_dom),
+                [this, op, di, arrival] {
+                    CollectiveOp::Task &dt = op->tasks_[di];
+                    dt.ready = std::max(dt.ready, arrival);
+                    if (--dt.deps == 0)
+                        scheduleTask(op, di);
+                });
+        }
     }
-    if (--op->pending_ == 0)
-        completeOp(*op);
+    if (op->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (!shard) {
+            completeOp(*op);
+        } else {
+            // Retire on the coordinator via the mailbox: completeOp
+            // samples shared stats and may invoke a user callback
+            // that schedules coordinator events (the serving engine
+            // does), neither of which a partition worker may do.
+            // The deferred event is pinned to THIS tick — serially
+            // the op completes inline inside its last chunk event,
+            // so the coordinator's clock after waitAll() must read
+            // the chunk's execution tick, not the (later) arrival
+            // tick. The coordinator cannot have passed this tick:
+            // it only steps while its head is <= every partition
+            // head.
+            const Tick done_at = q->curTick();
+            engine_->postCross(
+                engine_->partitionOfDomain(my_dom),
+                [this, op, done_at] {
+                    engine_->coordinator()->scheduleCallback(
+                        done_at, [this, op] { completeOp(*op); });
+                });
+        }
+    }
 }
 
 void
 CommGroup::completeOp(CollectiveOp &op)
 {
     EHPSIM_TRACK_WRITE(this, "stats.ops");
+    const Tick fin = op.finishTick();
     ++ops_completed;
-    last_finish_ = std::max(last_finish_, op.finish_);
-    if (op.finish_ > op.start_)
+    op.retired_ = true;
+    last_finish_ = std::max(last_finish_, fin);
+    if (fin > op.start_)
         algo_bw_gbps.sample(op.algoBandwidth() / 1e9);
     if (op.on_complete_) {
         // Clear before invoking: the callback may retire the handle.
         auto fn = std::move(op.on_complete_);
         op.on_complete_ = nullptr;
-        fn(op.finish_);
+        fn(fin);
     }
 }
 
@@ -650,7 +815,7 @@ CollectiveOp::setOnComplete(std::function<void(Tick)> fn)
     if (on_complete_)
         panic("CollectiveOp already has a completion callback");
     if (done()) {
-        fn(finish_);
+        fn(finishTick());
         return;
     }
     on_complete_ = std::move(fn);
@@ -772,16 +937,32 @@ CommGroup::sendRecv(Tick when, unsigned src, unsigned dst,
 Tick
 CommGroup::waitAll()
 {
-    std::erase_if(outstanding_,
-                  [](const OpHandle &op) { return op->done(); });
+    // Wait for retirement (completeOp ran), not just pending_ == 0:
+    // under PDES the two are separated by a deferred coordinator
+    // event, and waitAll() must not return before stats are sampled
+    // and completion callbacks have fired.
+    const auto retired = [](const OpHandle &op) {
+        return op->retired_;
+    };
+    std::erase_if(outstanding_, retired);
+    if (engine_) {
+        // Drive the parallel core only until this group's ops have
+        // retired — exactly as far as the serial loop below steps
+        // the queue. Events past that point (a later fault arm, the
+        // next op's work) stay pending, as they would serially.
+        engine_->runUntil([this, &retired] {
+            std::erase_if(outstanding_, retired);
+            return outstanding_.empty();
+        });
+        return last_finish_;
+    }
     while (!outstanding_.empty()) {
         if (!eventq()->step()) {
             panic("CommGroup '", name(), "': event queue drained "
                   "with ", outstanding_.size(),
                   " collectives pending");
         }
-        std::erase_if(outstanding_,
-                      [](const OpHandle &op) { return op->done(); });
+        std::erase_if(outstanding_, retired);
     }
     return last_finish_;
 }

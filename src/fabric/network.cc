@@ -21,7 +21,10 @@ Network::Network(SimObject *parent, const std::string &name)
                     "link-pair derating events"),
       reroutes(this, "reroutes",
                "route-table recomputes forced by link faults",
-               [this] { return static_cast<double>(route_recomputes_); })
+               [this] {
+                   return static_cast<double>(route_recomputes_.load(
+                       std::memory_order_relaxed));
+               })
 {
 }
 
@@ -181,7 +184,7 @@ void
 Network::computeRoutesFrom(NodeId src) const
 {
     if (faulted_)
-        ++route_recomputes_;
+        route_recomputes_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t n = numNodes();
     std::vector<NodeId> prev(n, src);
     std::vector<int> dist(n, -1);
@@ -276,7 +279,8 @@ Network::send(Tick when, NodeId src, NodeId dst, std::uint64_t bytes,
 
 MessageResult
 Network::sendOnRoute(Tick when, const LinkRoute &route,
-                     std::uint64_t bytes, bool high_priority)
+                     std::uint64_t bytes, bool high_priority,
+                     SendCounters *counters)
 {
     // Sends consult the route tables killLink() mutates, and feed
     // the partition dependency graph when the route crosses
@@ -284,7 +288,6 @@ Network::sendOnRoute(Tick when, const LinkRoute &route,
     EHPSIM_TRACK_READ(this, "topology");
     EHPSIM_TRACK_WRITE(this, "stats.messages");
     EHPSIM_RACE_PARTITION_FLOW(route.src_domain, route.dst_domain);
-    ++messages;
     MessageResult res;
     Tick t = when;
     for (Link *l : route.links) {
@@ -293,7 +296,13 @@ Network::sendOnRoute(Tick when, const LinkRoute &route,
                          l->params().energy_pj_per_byte;
         ++res.hops;
     }
-    total_hops += res.hops;
+    if (counters) {
+        ++counters->messages;
+        counters->hops += res.hops;
+    } else {
+        ++messages;
+        total_hops += res.hops;
+    }
     res.arrival = t;
     return res;
 }

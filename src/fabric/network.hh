@@ -15,6 +15,7 @@
 #ifndef EHPSIM_FABRIC_NETWORK_HH
 #define EHPSIM_FABRIC_NETWORK_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -157,14 +158,32 @@ class Network : public SimObject
                        bool high_priority = false);
 
     /**
+     * Plain tallies mirroring the Network-level messages/total_hops
+     * Scalars. A PDES worker passes one per partition shard to
+     * sendOnRoute() so concurrent partitions never touch the shared
+     * stat objects; shards are merged back into the Scalars at a
+     * synchronization barrier (comm::CommGroup::attachPdes).
+     */
+    struct SendCounters
+    {
+        std::uint64_t messages = 0;
+        std::uint64_t hops = 0;
+    };
+
+    /**
      * Send @p bytes over an already-resolved route: identical
      * timing, energy, and stats to send(), minus the route lookup.
      * @p route must come from linkRoute() at the current
      * routeEpoch(); a stale reference is a use-after-invalidate.
+     * When @p counters is non-null the network-level message/hop
+     * tallies go there instead of the messages/total_hops Scalars
+     * (per-link stats are still updated; under PDES each link is
+     * owned by exactly one worker group).
      */
     MessageResult sendOnRoute(Tick when, const LinkRoute &route,
                               std::uint64_t bytes,
-                              bool high_priority = false);
+                              bool high_priority = false,
+                              SendCounters *counters = nullptr);
 
     /** Sum of transfer energy over all links, joules. */
     double totalEnergyJoules() const;
@@ -189,17 +208,27 @@ class Network : public SimObject
     std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
     std::vector<std::vector<NodeId>> adjacency_;
 
-    /** Route cache: routes_[src][dst] = node path. */
+    /**
+     * Route cache: routes_[src][dst] = node path. All three caches
+     * (routes_, routes_valid_, link_routes_) fill lazily per
+     * SOURCE, which is what makes them safe under PDES: a source's
+     * slots are only ever touched by the worker group owning its
+     * partition domain. routes_valid_ is vector<char>, not
+     * vector<bool> — the packed-bit specialization would let two
+     * groups' flags share a word.
+     */
     mutable std::vector<std::vector<std::vector<NodeId>>> routes_;
-    mutable std::vector<bool> routes_valid_;
+    mutable std::vector<char> routes_valid_;
 
     /** Link-resolved route cache, filled lazily per (src, dst);
      *  cleared (with routes_) on every topology mutation. */
     mutable std::vector<std::vector<LinkRoute>> link_routes_;
     std::uint64_t route_epoch_ = 0;
 
-    /** Per-source route recomputes forced by link faults. */
-    mutable std::uint64_t route_recomputes_ = 0;
+    /** Per-source route recomputes forced by link faults. Atomic
+     *  (relaxed): concurrent PDES workers recompute for distinct
+     *  sources, and a sum is order-independent. */
+    mutable std::atomic<std::uint64_t> route_recomputes_{0};
     bool faulted_ = false;
 };
 

@@ -24,8 +24,7 @@ FaultInjector::FaultInjector(SimObject *parent,
                            "HBM channels blacked out"),
       chunk_faults(this, "chunk_faults",
                    "chunk transfer attempts failed in transit"),
-      plan_(std::move(plan)),
-      rng_(plan_.seed)
+      plan_(std::move(plan))
 {
     if (!eventq())
         fatal(name, ": no event queue (pass one explicitly; faults "
@@ -47,17 +46,23 @@ FaultInjector::attachCommGroup(comm::CommGroup *group)
     if (!group)
         fatal(name(), ": null comm group");
     comm_ = group;
-    // One Rng draw per transfer attempt, in event order, keeps the
-    // failure history deterministic for a given plan seed.
+    // Stateless counter-based draw: the verdict is a pure hash of
+    // (plan seed, op id, task index, attempt), so the failure
+    // history is a property of the schedule, not of execution
+    // order — the same attempt fails identically whether the run is
+    // serial or partitioned across PDES workers. Accounting goes
+    // through the sink, which the group invokes on the main thread.
+    const double rate = plan_.chunk_error_rate;
+    const std::uint64_t seed = plan_.seed;
     comm_->setChunkFaultHook(
-        [this](Tick, fabric::NodeId, fabric::NodeId, std::uint64_t,
-               unsigned) {
-            if (!rng_.nextBool(plan_.chunk_error_rate))
-                return false;
-            ++chunk_faults;
-            ++faults_injected;
-            return true;
+        [rate, seed](const comm::CommGroup::ChunkAttempt &a) {
+            return counterHashUnit(seed, a.op_id, a.task_index,
+                                   a.attempt) < rate;
         });
+    comm_->setChunkFaultSink([this](std::uint64_t n) {
+        chunk_faults += static_cast<double>(n);
+        faults_injected += static_cast<double>(n);
+    });
 }
 
 void

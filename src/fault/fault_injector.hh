@@ -6,9 +6,10 @@
  * everything else: attach the fabric, comm group, and memory it
  * should break, then arm() once. Timed faults (link kill/derate,
  * HBM channel blackout) become EventQueue lambdas; transient chunk
- * errors become a CommGroup fault hook backed by the plan's seeded
- * Rng, so the whole failure history replays byte-for-byte from one
- * seed.
+ * errors become a CommGroup fault hook drawing a counter-based hash
+ * of (plan seed, op id, task index, attempt), so the whole failure
+ * history replays byte-for-byte from one seed — on the serial core
+ * and on any PDES partitioning alike.
  */
 
 #ifndef EHPSIM_FAULT_FAULT_INJECTOR_HH
@@ -69,7 +70,6 @@ class FaultInjector : public SimObject
 
   private:
     FaultPlan plan_;
-    Rng rng_;
     fabric::Network *net_ = nullptr;
     comm::CommGroup *comm_ = nullptr;
     mem::HbmSubsystem *hbm_ = nullptr;

@@ -52,7 +52,9 @@ struct ChannelFault
  */
 struct FaultPlan
 {
-    /** Seeds the transient-error Rng (sim/rng.hh). */
+    /** Seeds the transient-error draw: a counter-based hash of
+     *  (seed, op, task, attempt), identical under serial and PDES
+     *  execution (sim/rng.hh counterHashUnit). */
     std::uint64_t seed = 1;
 
     /** Probability each chunk transfer attempt fails in transit. */

@@ -51,6 +51,15 @@ struct ScenarioParams
     /** Test hook: force a tiny KV pool to exercise eviction. */
     std::uint64_t kv_blocks_override = 0;
 
+    /**
+     * Run the simulation on the conservative parallel core with
+     * this many partitions (0 = the serial queue, the default).
+     * Output is byte-identical either way — the knob trades wall
+     * time only, and is deliberately NOT serialized by
+     * dumpScenario() so serial and PDES documents can be cmp'd.
+     */
+    unsigned pdes = 0;
+
     fault::FaultPlan faults;
 };
 
@@ -58,6 +67,14 @@ struct ScenarioResult
 {
     double ttft_p50_s = 0, ttft_p95_s = 0, ttft_p99_s = 0;
     double tpot_p50_s = 0, tpot_p95_s = 0, tpot_p99_s = 0;
+    /**
+     * Samples behind the percentiles above. Percentile::percentile
+     * returns 0 on an empty stat, so a consumer reading a 0 latency
+     * must check these to tell "no completed requests" from a
+     * genuine sub-resolution latency.
+     */
+    std::uint64_t ttft_samples = 0;
+    std::uint64_t tpot_samples = 0;
     double tokens_per_s = 0;
     double slo_attainment = 0;
     double mean_queue_depth = 0;

@@ -75,4 +75,22 @@ Rng::fork()
     return Rng(next());
 }
 
+double
+counterHashUnit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                std::uint64_t c)
+{
+    // Feed each word through the same finalizer splitmix64 uses so
+    // nearby counters (op ids, task indices, attempt numbers) land
+    // far apart.
+    std::uint64_t x = seed;
+    std::uint64_t h = splitmix64(x);
+    x ^= a;
+    h ^= splitmix64(x);
+    x ^= b;
+    h ^= splitmix64(x);
+    x ^= c;
+    h ^= splitmix64(x);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 } // namespace ehpsim

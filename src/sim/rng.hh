@@ -37,6 +37,17 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Stateless counter-based uniform draw in [0, 1): hashes
+ * (seed, a, b, c) through splitmix64-style mixing. Unlike a
+ * stateful Rng, the result depends only on the arguments, never on
+ * draw order — so concurrent PDES partitions evaluating the same
+ * (op, task, attempt) tuple get the same answer as the serial
+ * kernel regardless of execution interleaving.
+ */
+double counterHashUnit(std::uint64_t seed, std::uint64_t a,
+                       std::uint64_t b, std::uint64_t c);
+
 } // namespace ehpsim
 
 #endif // EHPSIM_SIM_RNG_HH

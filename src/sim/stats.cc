@@ -187,10 +187,14 @@ Percentile::ensureSorted() const
 double
 Percentile::percentile(double p) const
 {
-    if (samples_.empty())
-        return 0.0;
+    // Validate the argument before the empty-samples early return:
+    // an out-of-range p is a caller bug whether or not any samples
+    // were recorded, and the old order silently returned 0 for it
+    // on an empty stat.
     if (p < 0.0 || p > 100.0)
         panic("percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
     ensureSorted();
     const double n = static_cast<double>(samples_.size());
     // Nearest-rank: the ceil(p/100 * N)-th smallest sample.

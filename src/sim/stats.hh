@@ -181,7 +181,10 @@ class Percentile : public StatBase
     /**
      * Nearest-rank percentile for @p p in [0, 100]: the
      * ceil(p/100 * N)-th smallest sample (the smallest for p = 0).
-     * Returns 0 when no samples were recorded.
+     * Panics on out-of-range @p p (validated before the empty-stat
+     * check). Returns 0 when no samples were recorded — consumers
+     * that must distinguish "no data" from a genuine 0 should check
+     * count() (serve JSON emits it as *_samples).
      */
     double percentile(double p) const;
 

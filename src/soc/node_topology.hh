@@ -68,6 +68,15 @@ class NodeTopology : public SimObject
         return static_cast<unsigned>(names_.size());
     }
 
+    /**
+     * Partition domains this topology declares on its fabric —
+     * every endpoint (socket or host) is its own domain, so this is
+     * the natural upper bound on useful PDES partitions
+     * (pdes::PdesEngine folds domains onto partitions modulo the
+     * partition count).
+     */
+    unsigned numDomains() const { return numEndpoints(); }
+
     fabric::Network *network() { return net_.get(); }
 
     /** Fabric node of endpoint @p endpoint. */

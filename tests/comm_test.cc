@@ -480,11 +480,11 @@ runRetrySweep(unsigned jobs)
                 CommGroup group(node.get(), "comm", node->network(),
                                 node->deviceRanks(), &eq,
                                 fineGrained());
-                auto rng = std::make_shared<Rng>(1000 + j);
                 group.setChunkFaultHook(
-                    [rng](Tick, fabric::NodeId, fabric::NodeId,
-                          std::uint64_t, unsigned) {
-                        return rng->nextBool(0.05);
+                    [j](const CommGroup::ChunkAttempt &a) {
+                        return counterHashUnit(1000 + j, a.op_id,
+                                               a.task_index,
+                                               a.attempt) < 0.05;
                     });
                 auto op =
                     group.allReduce(0, bytes, Algorithm::ring);

@@ -314,6 +314,34 @@ TEST(FaultRetry, BackoffGrowsExponentially)
     EXPECT_EQ(group.backoffTicks(4), 8000u);
 }
 
+TEST(FaultRetry, BackoffSaturatesInsteadOfOverflowing)
+{
+    // Regression: retry_timeout * backoff_base^(attempt-1) used to
+    // be cast to Tick unchecked; past 2^63 that double -> unsigned
+    // conversion is undefined behavior. Deep retry policies must
+    // clamp at maxBackoff and stay monotone.
+    SimObject root(nullptr, "root");
+    auto node = soc::NodeTopology::mi300aQuadNode(&root);
+    EventQueue eq;
+    CommParams p = fineGrained();
+    p.retry_timeout = 1'000'000'000;    // 1 ms base
+    p.backoff_base = 10.0;
+    p.max_retries = 64;                 // 1 ms * 10^63 >> Tick range
+    CommGroup group(node.get(), "comm", node->network(),
+                    node->deviceRanks(), &eq, p);
+    EXPECT_EQ(group.backoffTicks(1), 1'000'000'000u);
+    EXPECT_EQ(group.backoffTicks(2), 10'000'000'000u);
+    EXPECT_EQ(group.backoffTicks(65), CommGroup::maxBackoff);
+    EXPECT_EQ(group.backoffTicks(1000), CommGroup::maxBackoff);
+    Tick prev = 0;
+    for (unsigned a = 1; a <= 80; ++a) {
+        const Tick b = group.backoffTicks(a);
+        EXPECT_GE(b, prev) << "attempt " << a;
+        EXPECT_LE(b, CommGroup::maxBackoff) << "attempt " << a;
+        prev = b;
+    }
+}
+
 TEST(FaultRetry, RejectsBadRetryParams)
 {
     SimObject root(nullptr, "root");
@@ -341,9 +369,8 @@ TEST(FaultRetry, FirstAttemptFailuresRetryAndComplete)
     CommGroup group(node.get(), "comm", node->network(),
                     node->deviceRanks(), &eq, p);
     // Every chunk fails exactly its first attempt.
-    group.setChunkFaultHook([](Tick, fabric::NodeId, fabric::NodeId,
-                               std::uint64_t, unsigned attempt) {
-        return attempt == 1;
+    group.setChunkFaultHook([](const CommGroup::ChunkAttempt &a) {
+        return a.attempt == 1;
     });
     auto op = group.sendRecv(0, 0, 1, 4 * MiB);
     group.waitAll();
@@ -368,8 +395,7 @@ TEST(FaultRetry, ExhaustionFatalsWithNodeNames)
     p.retry_timeout = 100;
     CommGroup group(node.get(), "comm", node->network(),
                     node->deviceRanks(), &eq, p);
-    group.setChunkFaultHook([](Tick, fabric::NodeId, fabric::NodeId,
-                               std::uint64_t, unsigned) {
+    group.setChunkFaultHook([](const CommGroup::ChunkAttempt &) {
         return true;    // the link never recovers
     });
     group.sendRecv(0, 0, 1, 1 * MiB);

@@ -75,7 +75,8 @@ TEST(PerfKernel, QuickJsonHasSchemaAndBenchmarks)
     EXPECT_NE(doc.find("\"quick\": true"), std::string::npos);
     for (const char *name :
          {"schedule_churn", "oneshot_storm", "oneshot_storm_pooled",
-          "comm_allreduce_octo", "fault_storm"}) {
+          "comm_allreduce_octo", "comm_allreduce_octo_pdes",
+          "fault_storm"}) {
         EXPECT_NE(doc.find(std::string("\"name\": \"") + name + "\""),
                   std::string::npos)
             << "missing benchmark " << name;
@@ -117,10 +118,14 @@ TEST(PerfKernel, FabricBenchCountersMatchGoldens)
         {"final_tick", "491550000"},
         {"link_bytes", "469762048"},
         // fault_storm, quick: seeded fault plan over the quad node.
-        {"events_processed", "241"},
-        {"final_tick", "1157326000"},
-        {"chunk_retries", "15"},
-        {"faults_injected", "17"},
+        // (Re-pinned when the transient-fault draw moved from a
+        // sequential Rng stream to the counter-based hash of
+        // (seed, op, task, attempt) — the schedule-keyed model that
+        // is identical under serial and PDES execution.)
+        {"events_processed", "237"},
+        {"final_tick", "1186732000"},
+        {"chunk_retries", "11"},
+        {"faults_injected", "13"},
     };
     for (const auto &g : goldens) {
         const std::string needle =

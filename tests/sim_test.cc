@@ -697,6 +697,21 @@ TEST(Stats, PercentileEmptyIsZeroAndResets)
     EXPECT_DOUBLE_EQ(p.percentile(99), 0.0);
 }
 
+TEST(Stats, PercentileRangeCheckedEvenWhenEmpty)
+{
+    // Regression: the range check must precede the empty-samples
+    // early return. The old order silently returned 0 for an
+    // out-of-range p on an empty stat, hiding the caller bug until
+    // the first sample arrived.
+    stats::StatGroup root(nullptr, "root");
+    stats::Percentile p(&root, "lat", "");
+    ASSERT_EQ(p.count(), 0u);
+    EXPECT_DEATH(p.percentile(-1.0), "out of range");
+    EXPECT_DEATH(p.percentile(100.5), "out of range");
+    p.sample(3.0);
+    EXPECT_DEATH(p.percentile(101.0), "out of range");
+}
+
 TEST(Stats, PercentileDumpJsonCarriesSummary)
 {
     stats::StatGroup root(nullptr, "root");
