@@ -22,6 +22,12 @@
  *                    bench's
  *   fault_storm      all-reduce under a transient chunk-error rate
  *                    plus mid-flight link derates (retry/backoff)
+ *   checkpoint_fork  the sweep fast-forward cycle (DESIGN.md §16):
+ *                    warm one world with ring all-reduces, save it,
+ *                    then fork eight sweep points by restoring the
+ *                    blob into fresh worlds — the per-point cost a
+ *                    forked sweep pays instead of re-simulating the
+ *                    shared warmup prefix
  *
  * JSON contract: everything under a benchmark's "deterministic" key
  * is byte-identical run-to-run (same build, any host); everything
@@ -49,6 +55,7 @@
 #include "sim/json.hh"
 #include "sim/pdes/pdes_engine.hh"
 #include "sim/rng.hh"
+#include "sim/sim_object.hh"
 #include "sim/units.hh"
 #include "sim/wall_timer.hh"
 #include "soc/node_topology.hh"
@@ -431,6 +438,85 @@ benchFaultStorm(const Sizes &sz, unsigned repeat)
     return r;
 }
 
+/**
+ * The sweep fast-forward cycle (DESIGN.md §16): simulate a shared
+ * warmup prefix of ring all-reduces once, saveWorld() the quiesced
+ * world, then fork eight sweep points — each restores the blob into
+ * a freshly built world and runs one measured collective. The wall
+ * time is what a forked sweep pays end to end (warmup once + save +
+ * eight restores + eight measured ops); a straight-through sweep
+ * would re-simulate warmup_events_skipped extra kernel events to
+ * reach the same eight results. Byte-identity of the forked results
+ * is the snapshot_test/cli_test contract; this bench tracks the
+ * cost side.
+ */
+BenchResult
+benchCheckpointFork(const Sizes &sz, unsigned repeat)
+{
+    BenchResult r;
+    r.name = "checkpoint_fork";
+    constexpr std::uint64_t kPoints = 8;
+    double best = -1;
+    std::uint64_t warm_events = 0, snapshot_bytes = 0;
+    std::uint64_t processed = 0, final_tick = 0, link_bytes = 0;
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+        WallTimer wt;
+        std::string blob;
+        {
+            SimObject root(nullptr, "root");
+            auto octo = soc::NodeTopology::mi300xOctoNode(&root);
+            EventQueue eq;
+            comm::CommParams params;
+            params.chunk_bytes = 1 * MiB;
+            comm::CommGroup group(octo.get(), "comm",
+                                  octo->network(),
+                                  octo->deviceRanks(), &eq, params);
+            for (unsigned it = 0; it < sz.comm_iters; ++it) {
+                group.allReduce(eq.curTick(), sz.comm_bytes,
+                                comm::Algorithm::ring);
+                group.waitAll();
+            }
+            warm_events = eq.numProcessed();
+            blob = saveWorld(eq, root);
+            snapshot_bytes = blob.size();
+        }
+        std::uint64_t total = 0, lb = 0;
+        for (std::uint64_t pt = 0; pt < kPoints; ++pt) {
+            SimObject root(nullptr, "root");
+            auto octo = soc::NodeTopology::mi300xOctoNode(&root);
+            EventQueue eq;
+            comm::CommParams params;
+            params.chunk_bytes = 1 * MiB;
+            comm::CommGroup group(octo.get(), "comm",
+                                  octo->network(),
+                                  octo->deviceRanks(), &eq, params);
+            restoreWorld(blob, eq, root);
+            auto op = group.allReduce(eq.curTick(), sz.comm_bytes,
+                                      comm::Algorithm::direct);
+            group.waitAll();
+            total += eq.numProcessed() - warm_events;
+            lb += op->linkBytes();
+            final_tick = eq.curTick();
+        }
+        processed = total;
+        link_bytes = lb;
+        const double s = wt.seconds();
+        if (best < 0 || s < best)
+            best = s;
+    }
+    r.det = {{"fork_points", kPoints},
+             {"warmup_events", warm_events},
+             {"warmup_events_skipped", (kPoints - 1) * warm_events},
+             {"snapshot_bytes", snapshot_bytes},
+             {"events_processed", processed},
+             {"final_tick", final_tick},
+             {"link_bytes", link_bytes}};
+    r.best_seconds = best;
+    r.events_per_sec = static_cast<double>(processed) / best;
+    r.ops_per_sec = 2 * r.events_per_sec;
+    return r;
+}
+
 void
 dumpJson(std::ostream &os, bool quick,
          const std::vector<BenchResult> &results)
@@ -505,6 +591,7 @@ main(int argc, char **argv)
         {"comm_allreduce_octo", benchCommAllReduce},
         {"comm_allreduce_octo_pdes", benchCommAllReducePdes},
         {"fault_storm", benchFaultStorm},
+        {"checkpoint_fork", benchCheckpointFork},
     };
     std::vector<BenchResult> results;
     for (const auto &b : benches) {

@@ -17,6 +17,8 @@
  *              [--collective all_reduce|all_gather|reduce_scatter|
  *               broadcast|all_to_all]
  *              [--algos ring,direct,auto] [--sizes 1M,16M,64M]
+ *              [--warmup N] [--warmup-bytes SIZE] [--fork]
+ *              [--checkpoint FILE]
  *              [--pdes N] [--jobs N] [--json FILE]
  *
  *   ehpsim_cli fault [--topology quad|octo] [--collective C]
@@ -31,8 +33,8 @@
  *              [--output-tokens N] [--seed N] [--bursty]
  *              [--token-budget N] [--max-batch N] [--kv-blocks N]
  *              [--error-rate R] [--kill a:b@tick[*factor]]
- *              [--blackout ch@tick] [--pdes N] [--jobs N]
- *              [--json FILE]
+ *              [--blackout ch@tick] [--pdes N] [--checkpoint-at T]
+ *              [--jobs N] [--json FILE]
  *
  *   ehpsim_cli race [--bytes SIZE] [--requests N] [--seed N]
  *              [--jobs N] [--json FILE]
@@ -68,9 +70,20 @@
  * (DESIGN.md §15): the node graph is partitioned into N logical
  * processes synchronized by min-link-latency lookahead. Output is
  * byte-identical to the serial run — `cmp` the two JSON documents to
- * check — so the knob trades wall time only. sweep accepts the flag
- * for driver symmetry but ignores it (its jobs are per-partition
- * roofline/event sims with no cross-partition traffic to overlap).
+ * check — so the knob trades wall time only. sweep REJECTS the flag
+ * with an error (its jobs are per-partition roofline/event sims
+ * with no cross-partition traffic to overlap; use --jobs instead).
+ *
+ * Checkpoint/fast-forward (DESIGN.md §16): `comm --warmup N` runs N
+ * ring all-reduces before each measured point; adding `--fork`
+ * simulates that shared prefix ONCE, snapshots the warmed world,
+ * and forks every (algorithm, size) point from the in-memory blob —
+ * JSON stays byte-identical to the unforked run, so only wall time
+ * changes. `--checkpoint FILE` persists the warmup blob across
+ * invocations (missing file: simulate and save; existing file: load
+ * and skip the warmup). `serve --checkpoint-at T` rehearses the
+ * same machinery end to end: run to tick T, snapshot, and finish
+ * the run on a restored copy of the world.
  *
  * The race subcommand (requires a -DEHPSIM_RACE=ON build; exits 2
  * otherwise) runs the octo all-reduce and a fixed-seed serving
@@ -115,6 +128,8 @@
 #include "serve/scenario.hh"
 #include "sim/logging.hh"
 #include "sim/pdes/pdes_engine.hh"
+#include "sim/sim_object.hh"
+#include "sim/snapshot.hh"
 #include "soc/node_topology.hh"
 #include "sweep/sweep_runner.hh"
 #include "workloads/generators.hh"
@@ -154,8 +169,10 @@ usage(const char *argv0)
                  "[--json FILE] [--scale N] [--stats]\n"
                  "       %s comm [--topology quad|octo] "
                  "[--collective C] [--algos a,b,...]\n"
-                 "          [--sizes 1M,64M,...] [--pdes N] [--jobs N] "
-                 "[--json FILE]\n"
+                 "          [--sizes 1M,64M,...] [--warmup N] "
+                 "[--warmup-bytes SIZE]\n"
+                 "          [--fork] [--checkpoint FILE] [--pdes N] "
+                 "[--jobs N] [--json FILE]\n"
                  "       %s fault [--topology quad|octo] "
                  "[--collective C] [--algos a,b,...]\n"
                  "          [--sizes 1M,...] [--rates 0,0.02,...] "
@@ -172,8 +189,8 @@ usage(const char *argv0)
                  "[--max-batch N]\n"
                  "          [--kv-blocks N] [--error-rate R] "
                  "[--kill a:b@tick[*factor]]\n"
-                 "          [--blackout ch@tick] [--pdes N] [--jobs N] "
-                 "[--json FILE]\n"
+                 "          [--blackout ch@tick] [--pdes N] "
+                 "[--checkpoint-at T] [--jobs N] [--json FILE]\n"
                  "       %s race [--bytes SIZE] [--requests N] "
                  "[--seed N]\n"
                  "          [--jobs N] [--json FILE]   "
@@ -366,12 +383,21 @@ sweepMain(int argc, char **argv)
             scale = std::stoull(next());
         else if (arg == "--stats")
             with_stats = true;
-        else if (arg == "--pdes")
-            // Accepted for driver symmetry with comm/fault/serve and
-            // ignored: sweep jobs are independent single-partition
-            // sims, so the parallel core degenerates to serial.
-            (void)std::stoul(next());
-        else
+        else if (arg == "--pdes") {
+            // Refused rather than silently ignored (it used to be
+            // accepted for driver symmetry): sweep jobs are
+            // independent single-partition sims with nothing for
+            // the parallel core to overlap, so a user passing the
+            // flag is expecting a speedup they will not get.
+            std::fprintf(stderr,
+                         "sweep: --pdes is not supported: sweep "
+                         "jobs are independent single-partition "
+                         "sims with no cross-partition traffic to "
+                         "parallelize; use --jobs N to run points "
+                         "concurrently (comm, fault, and serve do "
+                         "accept --pdes)\n");
+            return 2;
+        } else
             usage(argv[0]);
     }
     if (products.empty() || workloads.empty() || jobs == 0)
@@ -473,30 +499,101 @@ algorithmFor(const std::string &name)
     fatal("unknown algorithm '", name, "' (ring, direct, auto)");
 }
 
-/** Run one collective microbenchmark point and serialize it. pdes >
- *  0 runs the simulation on that many conservative partitions; the
- *  JSON below is byte-identical either way. */
+/** The comm microbench world, built in one fixed order so a forked
+ *  job can rebuild it identically around a warmup checkpoint. */
+struct CommBenchWorld
+{
+    SimObject root{nullptr, "root"};
+    std::unique_ptr<soc::NodeTopology> topo;
+    EventQueue eq;
+    std::unique_ptr<comm::CommGroup> group;
+
+    explicit CommBenchWorld(const std::string &topology)
+    {
+        topo = topology == "quad"
+                   ? soc::NodeTopology::mi300aQuadNode(&root)
+                   : soc::NodeTopology::mi300xOctoNode(&root);
+        comm::CommParams params;
+        params.chunk_bytes = 1 * MiB;
+        group = std::make_unique<comm::CommGroup>(
+            topo.get(), "comm", topo->network(), topo->deviceRanks(),
+            &eq, params);
+    }
+
+    /** @p n warmup ring all-reduces of @p bytes each, run to the op
+     *  boundary (a legal checkpoint quiesce point). */
+    void
+    warmup(unsigned n, std::uint64_t bytes)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            group->allReduce(0, bytes, comm::Algorithm::ring);
+            group->waitAll();
+        }
+    }
+};
+
+/**
+ * The shared warmup prefix of a forked comm sweep: load the blob
+ * from @p checkpoint_path when the file exists, otherwise simulate
+ * the warmup once (and save it there for the next run when a path
+ * was given).
+ */
+std::string
+commWarmupBlob(const std::string &topology, unsigned warmup,
+               std::uint64_t warmup_bytes,
+               const std::string &checkpoint_path)
+{
+    if (!checkpoint_path.empty()) {
+        std::ifstream probe(checkpoint_path, std::ios::binary);
+        if (probe.good()) {
+            std::fprintf(stderr,
+                         "comm: loading warmup checkpoint from %s\n",
+                         checkpoint_path.c_str());
+            return readSnapshotFile(checkpoint_path);
+        }
+    }
+    CommBenchWorld w(topology);
+    w.warmup(warmup, warmup_bytes);
+    std::string blob = saveWorld(w.eq, w.root);
+    if (!checkpoint_path.empty()) {
+        writeSnapshotFile(checkpoint_path, blob);
+        std::fprintf(stderr,
+                     "comm: warmup checkpoint saved to %s\n",
+                     checkpoint_path.c_str());
+    }
+    return blob;
+}
+
+/**
+ * Run one collective microbenchmark point and serialize it. pdes >
+ * 0 runs the simulation on that many conservative partitions. When
+ * @p fork_blob is set the point resumes from the shared warmup
+ * checkpoint instead of simulating the warmup itself; either way
+ * the JSON below is byte-identical (the CI checkpoint-smoke job
+ * cmp's the two documents).
+ */
 void
 runCommJob(const std::string &topology, comm::Collective coll,
-           comm::Algorithm algo, std::uint64_t bytes, unsigned pdes,
-           json::JsonWriter &jw)
+           comm::Algorithm algo, std::uint64_t bytes,
+           unsigned warmup, std::uint64_t warmup_bytes, unsigned pdes,
+           const std::string *fork_blob, json::JsonWriter &jw)
 {
-    SimObject root(nullptr, "root");
-    auto topo = topology == "quad"
-                    ? soc::NodeTopology::mi300aQuadNode(&root)
-                    : soc::NodeTopology::mi300xOctoNode(&root);
-    EventQueue eq;
-    comm::CommParams params;
-    params.chunk_bytes = 1 * MiB;
-    comm::CommGroup group(topo.get(), "comm", topo->network(),
-                          topo->deviceRanks(), &eq, params);
+    CommBenchWorld w(topology);
+    if (fork_blob)
+        restoreWorld(*fork_blob, w.eq, w.root);
+    comm::CommGroup &group = *w.group;
 
     std::unique_ptr<pdes::PdesEngine> engine;
     if (pdes > 0) {
         engine = std::make_unique<pdes::PdesEngine>(
-            &eq, topo->network(), pdes);
+            &w.eq, w.topo->network(), pdes);
         group.attachPdes(engine.get());
     }
+
+    // Straight-through reference path for a warmed sweep: simulate
+    // the warmup prefix inline. Forked jobs restored it instead.
+    if (!fork_blob)
+        w.warmup(warmup, warmup_bytes);
 
     comm::OpHandle op;
     switch (coll) {
@@ -542,8 +639,12 @@ commMain(int argc, char **argv)
     std::vector<std::string> algos = {"ring", "direct"};
     std::vector<std::string> sizes = {"1M", "16M", "64M"};
     std::string json_path;
+    std::string checkpoint_path;
     unsigned jobs = 1;
     unsigned pdes = 0;
+    unsigned warmup = 0;
+    std::uint64_t warmup_bytes = 16 * MiB;
+    bool fork = false;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -560,6 +661,14 @@ commMain(int argc, char **argv)
             algos = splitList(next());
         else if (arg == "--sizes")
             sizes = splitList(next());
+        else if (arg == "--warmup")
+            warmup = std::stoul(next());
+        else if (arg == "--warmup-bytes")
+            warmup_bytes = parseSize(next());
+        else if (arg == "--fork")
+            fork = true;
+        else if (arg == "--checkpoint")
+            checkpoint_path = next();
         else if (arg == "--pdes")
             pdes = std::stoul(next());
         else if (arg == "--jobs")
@@ -573,19 +682,50 @@ commMain(int argc, char **argv)
         fatal("unknown topology '", topology, "' (quad, octo)");
     if (algos.empty() || sizes.empty() || jobs == 0)
         usage(argv[0]);
+    if (!checkpoint_path.empty() && !fork)
+        fatal("comm: --checkpoint needs --fork (the file holds the "
+              "forked warmup prefix)");
+    if (fork && warmup == 0 && checkpoint_path.empty())
+        fatal("comm: --fork needs a warmup prefix to share (set "
+              "--warmup N, or --checkpoint F to load one)");
     const comm::Collective coll = collectiveFor(collective);
+
+    // Every point of the sweep shares one warmup prefix: with
+    // --fork it is simulated (or loaded) once and each point
+    // restores the blob; without, each point re-simulates it — the
+    // straight-through reference the byte-identity gate cmp's
+    // against.
+    sweep::WarmupSpec warm;
+    warm.config = "comm|" + topology + "|w" + std::to_string(warmup) +
+                  "|b" + std::to_string(warmup_bytes);
+    warm.produce = [topology, warmup, warmup_bytes,
+                    checkpoint_path] {
+        return commWarmupBlob(topology, warmup, warmup_bytes,
+                              checkpoint_path);
+    };
 
     sweep::SweepRunner runner(jobs);
     for (const auto &algo_name : algos) {
         const comm::Algorithm algo = algorithmFor(algo_name);
         for (const auto &size : sizes) {
             const std::uint64_t bytes = parseSize(size);
-            runner.addJob(topology + "/" + collective + "/" +
-                              algo_name + "/" + size,
-                          [=](json::JsonWriter &jw) {
-                              runCommJob(topology, coll, algo, bytes,
-                                         pdes, jw);
-                          });
+            const std::string name = topology + "/" + collective +
+                                     "/" + algo_name + "/" + size;
+            if (fork) {
+                runner.addForkedJob(
+                    name, warm,
+                    [=](const std::string &blob,
+                        json::JsonWriter &jw) {
+                        runCommJob(topology, coll, algo, bytes,
+                                   warmup, warmup_bytes, pdes, &blob,
+                                   jw);
+                    });
+            } else {
+                runner.addJob(name, [=](json::JsonWriter &jw) {
+                    runCommJob(topology, coll, algo, bytes, warmup,
+                               warmup_bytes, pdes, nullptr, jw);
+                });
+            }
         }
     }
 
@@ -885,6 +1025,8 @@ serveMain(int argc, char **argv)
                 parseChannelFault(next()));
         else if (arg == "--pdes")
             base.pdes = std::stoul(next());
+        else if (arg == "--checkpoint-at")
+            base.checkpoint_at = std::stoull(next());
         else if (arg == "--jobs")
             jobs = std::stoul(next());
         else if (arg == "--json")

@@ -5,6 +5,7 @@
 #include "sim/access_tracker.hh"
 #include "sim/logging.hh"
 #include "sim/pdes/pdes_engine.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -965,6 +966,35 @@ CommGroup::waitAll()
         std::erase_if(outstanding_, retired);
     }
     return last_finish_;
+}
+
+void
+CommGroup::snapshot(SnapshotWriter &w) const
+{
+    if (!outstanding_.empty() &&
+        std::any_of(outstanding_.begin(), outstanding_.end(),
+                    [](const OpHandle &o) { return !o->retired_; })) {
+        fatal("CommGroup '", name(), "': checkpoint with a "
+              "collective in flight — quiesce to an op boundary "
+              "first");
+    }
+    StatGroup::snapshot(w);
+    w.putU64(last_finish_);
+}
+
+void
+CommGroup::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    last_finish_ = r.getU64();
+    outstanding_.clear();
+    // Network::restore() rebuilt the route tables and destroyed the
+    // LinkRoute objects the per-pair cache aliased; drop every slot
+    // so routeFor() re-resolves lazily (no stat side effects — the
+    // network prewarmed its saved-valid sources).
+    pair_routes_.assign(ranks_.size() * ranks_.size(), nullptr);
+    pair_epochs_.assign(ranks_.size() * ranks_.size(),
+                        net_->routeEpoch());
 }
 
 double

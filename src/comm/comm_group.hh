@@ -356,6 +356,20 @@ class CommGroup : public SimObject
     stats::Formula max_link_busy;
     /** @} */
 
+    /**
+     * @{ checkpoint (DESIGN.md §16). The group may only be saved at
+     * an op boundary — the EventQueue save refuses unkeyed pending
+     * events, and every chunk/retry event is unkeyed, so a legal
+     * checkpoint implies no collective in flight. That leaves the
+     * stats (base walk) plus last_finish_. restore() additionally
+     * drops the per-pair route cache: Network::restore() destroyed
+     * the LinkRoute storage those pointers aliased, and routeFor()
+     * lazily re-resolves against the restored route tables.
+     */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     /**
      * Closed-form chunking of a buffer into params_.chunk_bytes

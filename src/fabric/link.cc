@@ -158,6 +158,35 @@ Link::derate(double factor)
                             static_cast<double>(ticksPerSecond));
 }
 
+void
+Link::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    occupancy_.snapshot(w);
+    w.putU64(first_use_);
+    w.putU64(last_done_);
+    w.putU64(busy_ticks_);
+    w.putU64(hp_busy_ticks_);
+    w.putF64(derate_);
+    w.putBool(killed_);
+}
+
+void
+Link::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    // The tracker restore sets bytes_per_tick_ and window_ directly;
+    // going through derate()/setBandwidth() here would recompute the
+    // window and double-apply the derating.
+    occupancy_.restore(r);
+    first_use_ = r.getU64();
+    last_done_ = r.getU64();
+    busy_ticks_ = r.getU64();
+    hp_busy_ticks_ = r.getU64();
+    derate_ = r.getF64();
+    killed_ = r.getBool();
+}
+
 double
 Link::energyJoules() const
 {

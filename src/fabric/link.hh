@@ -122,6 +122,12 @@ class Link : public SimObject
     stats::Formula achieved_gbps;
     /** @} */
 
+    /** @{ checkpoint: stats (base) + occupancy windows, timing
+     *  watermarks, derate, and liveness (DESIGN.md §16) */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     LinkParams params_;
     mem::OccupancyTracker occupancy_;

@@ -307,6 +307,59 @@ Network::sendOnRoute(Tick when, const LinkRoute &route,
     return res;
 }
 
+void
+Network::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    w.putBool(faulted_);
+    w.putU64(route_epoch_);
+    w.putU64(route_recomputes_.load(std::memory_order_relaxed));
+    std::uint64_t valid = 0;
+    for (std::size_t src = 0; src < routes_valid_.size(); ++src) {
+        if (routes_valid_[src])
+            ++valid;
+    }
+    w.putU64(valid);
+    for (std::size_t src = 0; src < routes_valid_.size(); ++src) {
+        if (routes_valid_[src])
+            w.putU32(static_cast<std::uint32_t>(src));
+    }
+}
+
+void
+Network::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    // The base walk restored each Link's killed_ flag; mirror the
+    // kills structurally by erasing dead edges from the adjacency
+    // lists (order-preserving, so the BFS visits neighbors in the
+    // same order the straight-through run would).
+    for (const auto &kv : links_) {
+        if (!kv.second->alive())
+            std::erase(adjacency_[kv.first.first], kv.first.second);
+    }
+    invalidateRoutes();
+    const bool faulted = r.getBool();
+    const std::uint64_t epoch = r.getU64();
+    const std::uint64_t recomputes = r.getU64();
+    // Prewarm the sources that had valid route tables at save time
+    // while faulted_ is still false: the checkpointed run computed
+    // these before the save, so the replay must not count them as
+    // post-fault recomputes.
+    const std::uint64_t valid = r.getU64();
+    for (std::uint64_t i = 0; i < valid; ++i) {
+        const NodeId src = r.getU32();
+        if (src >= numNodes())
+            fatal("snapshot: route source ", src,
+                  " out of range for a ", numNodes(),
+                  "-node fabric — checkpoint/topology mismatch");
+        computeRoutesFrom(src);
+    }
+    faulted_ = faulted;
+    route_epoch_ = epoch;
+    route_recomputes_.store(recomputes, std::memory_order_relaxed);
+}
+
 double
 Network::totalEnergyJoules() const
 {

@@ -196,6 +196,20 @@ class Network : public SimObject
     stats::Formula reroutes;
     /** @} */
 
+    /**
+     * @{ checkpoint (DESIGN.md §16). The base walk serializes every
+     * Link child (liveness included); the Network appends its fault
+     * flag, route epoch, recompute counter, and the set of sources
+     * whose route tables were valid. restore() erases dead edges
+     * from the rebuilt adjacency (std::erase preserves the order of
+     * the survivors, matching the straight-through kill sequence)
+     * and recomputes the saved sources' routes *before* re-arming
+     * the fault flag, so the prewarm never double-counts reroutes.
+     */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     void invalidateRoutes();
 

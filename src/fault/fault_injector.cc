@@ -5,6 +5,7 @@
 #include "sim/access_tracker.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -30,6 +31,18 @@ FaultInjector::FaultInjector(SimObject *parent,
         fatal(name, ": no event queue (pass one explicitly; faults "
               "are scheduled as events)");
     plan_.validate();
+    // Timed faults are keyed one-shots so a checkpoint can save them
+    // pending and a restore can replay them without re-arming.
+    eventq()->registerKeyedFactory(
+        "fault.link",
+        [this](Tick when, std::uint64_t a0, std::uint64_t) {
+            scheduleLinkFault(when, a0);
+        });
+    eventq()->registerKeyedFactory(
+        "fault.chan",
+        [this](Tick when, std::uint64_t a0, std::uint64_t) {
+            scheduleChannelFault(when, a0);
+        });
 }
 
 void
@@ -89,38 +102,66 @@ FaultInjector::arm()
         fatal(name(), ": plan has a chunk_error_rate but no comm "
               "group is attached");
 
-    for (const auto &lf : plan_.link_faults) {
+    for (std::size_t i = 0; i < plan_.link_faults.size(); ++i) {
         // Resolve names now so a typo fails at arm() time, not
-        // mid-run.
+        // mid-run (the event callback re-resolves by plan index).
+        const auto &lf = plan_.link_faults[i];
+        net_->nodeByName(lf.node_a);
+        net_->nodeByName(lf.node_b);
+        scheduleLinkFault(std::max(lf.at, eventq()->curTick()), i);
+    }
+    for (std::size_t i = 0; i < plan_.channel_faults.size(); ++i) {
+        scheduleChannelFault(
+            std::max(plan_.channel_faults[i].at, eventq()->curTick()),
+            i);
+    }
+}
+
+void
+FaultInjector::scheduleLinkFault(Tick when, std::uint64_t i)
+{
+    eventq()->scheduleKeyed(when, "fault.link", i, 0, [this, i] {
+        const auto &lf = plan_.link_faults[i];
         const fabric::NodeId a = net_->nodeByName(lf.node_a);
         const fabric::NodeId b = net_->nodeByName(lf.node_b);
-        const double factor = lf.derate;
-        const Tick when = std::max(lf.at, eventq()->curTick());
-        eventq()->scheduleCallback(when, [this, a, b, factor] {
-            // Fault application mutates fabric state other events
-            // may be using this very tick; the tracker pairs this
-            // write with Link/Network reads to flag collisions.
-            EHPSIM_TRACK_WRITE(this, "injected");
-            if (factor == 0.0) {
-                net_->killLink(a, b);
-                ++links_cut;
-            } else {
-                net_->derateLink(a, b, factor);
-                ++links_derated;
-            }
-            ++faults_injected;
-        });
-    }
-    for (const auto &cf : plan_.channel_faults) {
-        const unsigned channel = cf.channel;
-        const Tick when = std::max(cf.at, eventq()->curTick());
-        eventq()->scheduleCallback(when, [this, channel] {
-            EHPSIM_TRACK_WRITE(this, "injected");
-            hbm_->blackoutChannel(channel);
-            ++channels_blacked_out;
-            ++faults_injected;
-        });
-    }
+        // Fault application mutates fabric state other events may be
+        // using this very tick; the tracker pairs this write with
+        // Link/Network reads to flag collisions.
+        EHPSIM_TRACK_WRITE(this, "injected");
+        if (lf.derate == 0.0) {
+            net_->killLink(a, b);
+            ++links_cut;
+        } else {
+            net_->derateLink(a, b, lf.derate);
+            ++links_derated;
+        }
+        ++faults_injected;
+    });
+}
+
+void
+FaultInjector::scheduleChannelFault(Tick when, std::uint64_t i)
+{
+    eventq()->scheduleKeyed(when, "fault.chan", i, 0, [this, i] {
+        EHPSIM_TRACK_WRITE(this, "injected");
+        hbm_->blackoutChannel(plan_.channel_faults[i].channel);
+        ++channels_blacked_out;
+        ++faults_injected;
+    });
+}
+
+void
+FaultInjector::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    w.putBool(armed_);
+}
+
+void
+FaultInjector::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    armed_ = r.getBool();
 }
 
 } // namespace fault

@@ -68,7 +68,24 @@ class FaultInjector : public SimObject
     stats::Scalar chunk_faults;
     /** @} */
 
+    /** @{ checkpoint: stats (base) + the armed flag (DESIGN.md §16).
+     *  Pending timed faults are KEYED events ("fault.link" /
+     *  "fault.chan" with the plan index as payload), so the
+     *  EventQueue replays them from its own snapshot — a restored
+     *  world must NOT call arm() again. */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
+    /** Schedule link fault @p i of the plan as a keyed one-shot at
+     *  @p when (also the "fault.link" replay factory). */
+    void scheduleLinkFault(Tick when, std::uint64_t i);
+
+    /** Schedule channel fault @p i of the plan as a keyed one-shot
+     *  at @p when (also the "fault.chan" replay factory). */
+    void scheduleChannelFault(Tick when, std::uint64_t i);
+
     FaultPlan plan_;
     fabric::Network *net_ = nullptr;
     comm::CommGroup *comm_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -221,6 +222,80 @@ CacheArray::numValid() const
             ++n;
     }
     return n;
+}
+
+void
+CacheArray::snapshot(SnapshotWriter &w) const
+{
+    w.putU64(size_bytes_);
+    w.putU32(assoc_);
+    w.putU32(line_bytes_);
+    rng_.snapshot(w);
+    w.putU64(use_counter_);
+    w.putU64(numValid());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const CacheLine &l = lines_[i];
+        if (!l.valid)
+            continue;
+        w.putU64(i);
+        w.putU64(l.tag);
+        w.putBool(l.dirty);
+        w.putU8(l.state);
+        w.putU64(l.last_use);
+        w.putBool(l.prefetched);
+    }
+    std::uint64_t nonzero = 0;
+    for (std::uint32_t bits : plru_bits_) {
+        if (bits)
+            ++nonzero;
+    }
+    w.putU64(nonzero);
+    for (std::size_t s = 0; s < plru_bits_.size(); ++s) {
+        if (plru_bits_[s]) {
+            w.putU32(static_cast<std::uint32_t>(s));
+            w.putU32(plru_bits_[s]);
+        }
+    }
+}
+
+void
+CacheArray::restore(SnapshotReader &r)
+{
+    const std::uint64_t size = r.getU64();
+    const std::uint32_t assoc = r.getU32();
+    const std::uint32_t line = r.getU32();
+    if (size != size_bytes_ || assoc != assoc_ || line != line_bytes_) {
+        fatal("cache snapshot saved as ", size, " B x", assoc,
+              "-way x", line, " B lines but configured as ",
+              size_bytes_, " B x", assoc_, "-way x", line_bytes_,
+              " B lines — checkpoint/config mismatch");
+    }
+    rng_.restore(r);
+    use_counter_ = r.getU64();
+    lines_.assign(lines_.size(), CacheLine{});
+    const std::uint64_t valid = r.getU64();
+    for (std::uint64_t i = 0; i < valid; ++i) {
+        const std::uint64_t idx = r.getU64();
+        if (idx >= lines_.size())
+            fatal("cache snapshot line index ", idx,
+                  " out of range — corrupt checkpoint");
+        CacheLine &l = lines_[idx];
+        l.valid = true;
+        l.tag = r.getU64();
+        l.dirty = r.getBool();
+        l.state = r.getU8();
+        l.last_use = r.getU64();
+        l.prefetched = r.getBool();
+    }
+    plru_bits_.assign(num_sets_, 0);
+    const std::uint64_t nonzero = r.getU64();
+    for (std::uint64_t i = 0; i < nonzero; ++i) {
+        const std::uint32_t s = r.getU32();
+        if (s >= plru_bits_.size())
+            fatal("cache snapshot PLRU set ", s,
+                  " out of range — corrupt checkpoint");
+        plru_bits_[s] = r.getU32();
+    }
 }
 
 bool

@@ -19,6 +19,10 @@
 
 namespace ehpsim
 {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace mem
 {
 
@@ -101,6 +105,20 @@ class CacheArray
 
     /** True if no set holds two valid lines with the same tag. */
     bool tagsUnique() const;
+
+    /**
+     * @{ Checkpoint the replacement state and the valid lines
+     * (DESIGN.md §16). Sparse: only valid lines and nonzero PLRU
+     * words are written — a residual field on an invalidated line
+     * is never observed (lookup/victimWay gate on valid, insert
+     * overwrites every field), so dropping them is behaviorally
+     * identical and keeps an untouched multi-MiB array to a few
+     * bytes. restore() fatals when the saved geometry disagrees
+     * with the configured one.
+     */
+    void snapshot(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 
   private:
     unsigned victimWay(unsigned set);

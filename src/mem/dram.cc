@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace ehpsim
 {
 namespace mem
@@ -98,6 +100,41 @@ DramChannel::access(Tick when, Addr addr, std::uint64_t bytes,
     res.hit = true;
     res.bytes_below = 0;
     return res;
+}
+
+void
+DramChannel::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    bus_.snapshot(w);
+    w.putU32(params_.num_banks);
+    for (unsigned b = 0; b < params_.num_banks; ++b) {
+        w.putU64(bank_free_[b]);
+        w.putBool(bank_open_[b]);
+        w.putU64(open_row_[b]);
+    }
+    w.putU64(first_access_);
+    w.putU64(last_complete_);
+}
+
+void
+DramChannel::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    bus_.restore(r);
+    const std::uint32_t banks = r.getU32();
+    if (banks != params_.num_banks) {
+        fatal(name(), ": snapshot saved with ", banks,
+              " banks but channel configured with ",
+              params_.num_banks, " — checkpoint/config mismatch");
+    }
+    for (unsigned b = 0; b < params_.num_banks; ++b) {
+        bank_free_[b] = r.getU64();
+        bank_open_[b] = r.getBool();
+        open_row_[b] = r.getU64();
+    }
+    first_access_ = r.getU64();
+    last_complete_ = r.getU64();
 }
 
 double

@@ -61,6 +61,13 @@ class DramChannel : public MemDevice
     stats::Scalar bank_conflicts;
     /** @} */
 
+    /** @{ checkpoint: stats (base) + bus windows, per-bank timing
+     *  and open-row state, and the lifetime watermarks
+     *  (DESIGN.md §16) */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     DramParams params_;
     OccupancyTracker bus_;

@@ -142,6 +142,40 @@ HbmSubsystem::access(Tick when, Addr addr, std::uint64_t bytes,
     return res;
 }
 
+void
+HbmSubsystem::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    const unsigned n = numChannels();
+    w.putU32(n);
+    for (unsigned c = 0; c < n; ++c) {
+        w.putU32(channel_remap_[c]);
+        w.putBool(channel_dead_[c]);
+    }
+    w.putU32(live_channels_);
+    w.putU64(first_access_);
+    w.putU64(last_complete_);
+}
+
+void
+HbmSubsystem::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    const std::uint32_t n = r.getU32();
+    if (n != numChannels()) {
+        fatal(name(), ": snapshot saved with ", n,
+              " HBM channels but configured with ", numChannels(),
+              " — checkpoint/config mismatch");
+    }
+    for (unsigned c = 0; c < n; ++c) {
+        channel_remap_[c] = r.getU32();
+        channel_dead_[c] = r.getBool();
+    }
+    live_channels_ = r.getU32();
+    first_access_ = r.getU64();
+    last_complete_ = r.getU64();
+}
+
 BytesPerSecond
 HbmSubsystem::peakHbmBandwidth() const
 {

@@ -93,6 +93,13 @@ class HbmSubsystem : public MemDevice
     stats::Formula degraded_peak_gbps;
     /** @} */
 
+    /** @{ checkpoint: stats + channel/slice children (base walk),
+     *  then the blackout remap table, liveness, and watermarks
+     *  (DESIGN.md §16) */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     HbmSubsystemParams params_;
     InterleaveMap map_;

@@ -103,6 +103,22 @@ InfinityCacheSlice::access(Tick when, Addr addr, std::uint64_t bytes,
     return res;
 }
 
+void
+InfinityCacheSlice::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    array_.snapshot(w);
+    port_.snapshot(w);
+}
+
+void
+InfinityCacheSlice::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    array_.restore(r);
+    port_.restore(r);
+}
+
 double
 InfinityCacheSlice::amplification() const
 {

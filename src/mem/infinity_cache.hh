@@ -70,6 +70,12 @@ class InfinityCacheSlice : public MemDevice
     stats::Scalar bytes_from_hbm;
     /** @} */
 
+    /** @{ checkpoint: stats (base) + tag array contents and the
+     *  port occupancy windows (DESIGN.md §16) */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     InfinityCacheParams params_;
     CacheArray array_;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/sim_object.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace ehpsim
@@ -201,6 +202,60 @@ class OccupancyTracker
         touched_ = false;
         last_done_ = 0;
     }
+
+    /**
+     * @{ Checkpoint the consumed-budget windows (DESIGN.md §16).
+     * Skip chains are a pure accelerator over full windows and are
+     * deliberately not saved: findFree() answers identically from
+     * the used values alone and rebuilds the chains as it walks.
+     * window_ is saved explicitly (not recomputed) because a
+     * derated link re-derives it through setBandwidth().
+     */
+    void
+    snapshot(SnapshotWriter &w) const
+    {
+        w.putF64(bytes_per_tick_);
+        w.putU64(window_);
+        w.putU64(last_done_);
+        w.putBool(touched_);
+        w.putU64(base_page_);
+        // occupy(when) only ever scans forward from when/window_,
+        // and no event scheduled at or after the save tick can pass
+        // when < horizon, so windows that end at or before the
+        // horizon can never be read again — drop them. A warmed
+        // link's history otherwise dominates the checkpoint (the
+        // sweep fast-forward blob shrank ~100x, DESIGN.md §16);
+        // post-restore behavior is byte-identical either way since
+        // nothing downstream reads retired windows.
+        const std::uint64_t keep_from = w.horizon() / window_;
+        auto loads = windowLoads();
+        std::erase_if(loads, [&](const auto &e) {
+            return e.first / window_ < keep_from;
+        });
+        w.putU64(loads.size());
+        for (const auto &[start, used] : loads) {
+            w.putU64(start / window_);
+            w.putF64(used);
+        }
+    }
+
+    void
+    restore(SnapshotReader &r)
+    {
+        pages_.clear();
+        bytes_per_tick_ = r.getF64();
+        window_ = r.getU64();
+        last_done_ = r.getU64();
+        touched_ = r.getBool();
+        base_page_ = r.getU64();
+        const auto n = r.getU64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t win = r.getU64();
+            const double used = r.getF64();
+            pageFor(win).used[win & kPageMask] = used;
+        }
+    }
+    /** @} */
 
   private:
     /** Windows per page; pages are the allocation grain. */

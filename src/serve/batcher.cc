@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -145,6 +146,32 @@ ContinuousBatcher::buildPlan()
     }
 
     return plan;
+}
+
+void
+ContinuousBatcher::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    w.putU64(waiting_.size());
+    for (const std::uint64_t idx : waiting_)
+        w.putU64(idx);
+    w.putU64(running_.size());
+    for (const std::uint64_t idx : running_)
+        w.putU64(idx);
+}
+
+void
+ContinuousBatcher::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    waiting_.clear();
+    const std::uint64_t nw = r.getU64();
+    for (std::uint64_t i = 0; i < nw; ++i)
+        waiting_.push_back(r.getU64());
+    running_.clear();
+    const std::uint64_t nr = r.getU64();
+    for (std::uint64_t i = 0; i < nr; ++i)
+        running_.push_back(r.getU64());
 }
 
 void

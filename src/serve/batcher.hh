@@ -102,6 +102,14 @@ class ContinuousBatcher : public SimObject
         return static_cast<std::uint64_t>(recompute_tokens_.value());
     }
 
+    /** @{ checkpoint: stats (base) + the admission queue and the
+     *  resident set, in order (DESIGN.md §16). Per-request fields
+     *  (kv_blocks, prefill_done, state...) belong to the engine's
+     *  request table, not the batcher. */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     /** Evict the latest-admitted running sequence; @return it. */
     std::uint64_t preemptLatest();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -61,6 +62,22 @@ KvCacheManager::release(std::uint64_t blocks)
               used_, " in use");
     used_ -= blocks;
     blocks_released_ += static_cast<double>(blocks);
+}
+
+void
+KvCacheManager::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    w.putU64(total_);
+    w.putU64(used_);
+}
+
+void
+KvCacheManager::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    total_ = r.getU64();
+    used_ = r.getU64();
 }
 
 void

@@ -88,6 +88,13 @@ class KvCacheManager : public SimObject
         return static_cast<std::uint64_t>(peak_used_.value());
     }
 
+    /** @{ checkpoint: stats (base) + pool size and residency
+     *  (DESIGN.md §16). total_ is saved because HBM blackouts
+     *  rescale it mid-run. */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     std::uint64_t total_;
     unsigned block_tokens_;

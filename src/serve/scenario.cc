@@ -47,66 +47,100 @@ scenarioTrace(const ScenarioParams &p)
     return workloads::poissonArrivals(ap);
 }
 
-ScenarioResult
-runServingScenario(const ScenarioParams &p)
+namespace
 {
-    const ServingConfig cfg = scenarioConfig(p);
 
+/**
+ * Every component of one serving scenario, owned together and built
+ * in a fixed order. The checkpoint path depends on that order being
+ * reproducible: restoreWorld() walks the object tree in registration
+ * order, so the fresh world it restores into must construct the same
+ * components in the same sequence as the warm world it mirrors.
+ */
+struct ScenarioWorld
+{
     EventQueue eq;
-    SimObject root(nullptr, "serving", &eq);
-
-    // TP > 1 shards over the first tp sockets of the Fig. 18b octo
-    // node; the decode/prefill all-reduces run over its IF links.
+    SimObject root;
     std::unique_ptr<soc::NodeTopology> topo;
     std::unique_ptr<comm::CommGroup> group;
-    if (cfg.tp > 1) {
-        topo = soc::NodeTopology::mi300xOctoNode(&root);
-        std::vector<fabric::NodeId> ranks;
-        for (unsigned i = 0; i < cfg.tp; ++i)
-            ranks.push_back(topo->nodeId(i));
-        comm::CommParams cp;
-        cp.chunk_bytes = 1 * MiB;
-        // Transient chunk errors back off from 200 us so a faulted
-        // sweep degrades service without fatal retry exhaustion.
-        cp.retry_timeout = 200'000'000;
-        group = std::make_unique<comm::CommGroup>(
-            topo.get(), "tp_comm", topo->network(), std::move(ranks),
-            &eq, cp);
+    std::unique_ptr<mem::HbmSubsystem> hbm;
+    std::unique_ptr<ServingEngine> engine;
+    std::unique_ptr<fault::FaultInjector> injector;
+
+    /**
+     * Build and attach everything, but neither arm() nor start():
+     * a warm world does that next; a restored world must not (its
+     * pending events replay from the blob). The attachments are
+     * made either way — they install the stateless chunk fault
+     * hook, which is configuration, not state.
+     */
+    ScenarioWorld(const ScenarioParams &p, const ServingConfig &cfg)
+        : root(nullptr, "serving", &eq)
+    {
+        // TP > 1 shards over the first tp sockets of the Fig. 18b
+        // octo node; the decode/prefill all-reduces run over its IF
+        // links.
+        if (cfg.tp > 1) {
+            topo = soc::NodeTopology::mi300xOctoNode(&root);
+            std::vector<fabric::NodeId> ranks;
+            for (unsigned i = 0; i < cfg.tp; ++i)
+                ranks.push_back(topo->nodeId(i));
+            comm::CommParams cp;
+            cp.chunk_bytes = 1 * MiB;
+            // Transient chunk errors back off from 200 us so a
+            // faulted sweep degrades service without fatal retry
+            // exhaustion.
+            cp.retry_timeout = 200'000'000;
+            group = std::make_unique<comm::CommGroup>(
+                topo.get(), "tp_comm", topo->network(),
+                std::move(ranks), &eq, cp);
+        }
+
+        mem::HbmSubsystemParams hp;
+        hp.capacity_bytes = cfg.mem_capacity;
+        hbm = std::make_unique<mem::HbmSubsystem>(&root, "hbm", hp);
+
+        engine = std::make_unique<ServingEngine>(
+            &root, "engine", &eq, cfg, scenarioTrace(p), group.get(),
+            hbm.get());
+
+        injector = std::make_unique<fault::FaultInjector>(
+            &root, "faults", p.faults, &eq);
+        if (topo)
+            injector->attachNetwork(topo->network());
+        if (group)
+            injector->attachCommGroup(group.get());
+        injector->attachHbm(hbm.get());
     }
 
-    mem::HbmSubsystemParams hp;
-    hp.capacity_bytes = cfg.mem_capacity;
-    mem::HbmSubsystem hbm(&root, "hbm", hp);
-
-    ServingEngine engine(&root, "engine", &eq, cfg, scenarioTrace(p),
-                         group.get(), &hbm);
-
-    fault::FaultInjector injector(&root, "faults", p.faults, &eq);
-    if (topo)
-        injector.attachNetwork(topo->network());
-    if (group)
-        injector.attachCommGroup(group.get());
-    injector.attachHbm(&hbm);
-    injector.arm();
-
-    engine.start();
-    if (p.pdes > 0) {
-        // The conservative parallel core: the serving engine stays
-        // on the coordinator queue; the TP all-reduce chunks (when
-        // any) fan out over the partition queues. run() drains
-        // everything, exactly like eq.run(), and the output below
-        // is byte-identical to the serial run's.
-        pdes::PdesEngine pe(&eq, topo ? topo->network() : nullptr,
-                            p.pdes);
-        if (group)
-            group->attachPdes(&pe);
-        pe.run();
-        if (group)
-            group->attachPdes(nullptr);
-    } else {
-        eq.run();
+    /** Drain the queue, honoring the PDES knob. */
+    void
+    runToCompletion(unsigned pdes_parts)
+    {
+        if (pdes_parts > 0) {
+            // The conservative parallel core: the serving engine
+            // stays on the coordinator queue; the TP all-reduce
+            // chunks (when any) fan out over the partition queues.
+            // run() drains everything, exactly like eq.run(), and
+            // the output is byte-identical to the serial run's.
+            pdes::PdesEngine pe(&eq,
+                                topo ? topo->network() : nullptr,
+                                pdes_parts);
+            if (group)
+                group->attachPdes(&pe);
+            pe.run();
+            if (group)
+                group->attachPdes(nullptr);
+        } else {
+            eq.run();
+        }
     }
+};
 
+ScenarioResult
+summarize(const ScenarioParams &p, ScenarioWorld &w)
+{
+    ServingEngine &engine = *w.engine;
     if (!engine.allDone())
         fatal("serving scenario: run drained with ",
               engine.completed(), "/", p.num_requests,
@@ -136,11 +170,11 @@ runServingScenario(const ScenarioParams &p)
     r.evictions = engine.batcher().evictions();
     r.recompute_tokens = engine.batcher().recomputeTokens();
     r.chunk_retries =
-        group ? static_cast<std::uint64_t>(
-                    group->chunk_retries.value())
-              : 0;
+        w.group ? static_cast<std::uint64_t>(
+                      w.group->chunk_retries.value())
+                : 0;
     r.channels_dark =
-        static_cast<std::uint64_t>(hbm.channels_dark.value());
+        static_cast<std::uint64_t>(w.hbm->channels_dark.value());
     r.completed = engine.completed();
     r.iterations =
         static_cast<std::uint64_t>(engine.iterations.value());
@@ -148,10 +182,64 @@ runServingScenario(const ScenarioParams &p)
 
     std::ostringstream stats;
     json::JsonWriter sw(stats);
-    root.dumpJsonStats(sw);
+    w.root.dumpJsonStats(sw);
     r.stats_json = stats.str();
 
     return r;
+}
+
+} // namespace
+
+std::string
+checkpointServingScenario(const ScenarioParams &p)
+{
+    if (p.checkpoint_at == 0)
+        fatal("serving scenario: checkpointServingScenario needs "
+              "checkpoint_at > 0");
+
+    const ServingConfig cfg = scenarioConfig(p);
+    ScenarioWorld w(p, cfg);
+    w.injector->arm();
+    w.engine->start();
+
+    // The warmup prefix always runs serially — the snapshot must be
+    // taken from a quiesced coordinator queue, and the prefix is run
+    // exactly once however the resumed halves are parallelized.
+    w.eq.run(p.checkpoint_at);
+    // A legal save needs every pending event keyed; comm chunk and
+    // retry events are not, so stepping until they drain also means
+    // any in-flight collective has retired.
+    while (!w.eq.allPendingKeyed() && !w.eq.empty())
+        w.eq.step();
+    return saveWorld(w.eq, w.root);
+}
+
+ScenarioResult
+resumeServingScenario(const ScenarioParams &p,
+                      const std::string &blob)
+{
+    const ServingConfig cfg = scenarioConfig(p);
+    ScenarioWorld w(p, cfg);
+    // No arm(), no start(): the injector's pending timed faults and
+    // the engine's wake/finish events replay from the blob.
+    restoreWorld(blob, w.eq, w.root);
+    w.runToCompletion(p.pdes);
+    return summarize(p, w);
+}
+
+ScenarioResult
+runServingScenario(const ScenarioParams &p)
+{
+    if (p.checkpoint_at > 0)
+        return resumeServingScenario(p,
+                                     checkpointServingScenario(p));
+
+    const ServingConfig cfg = scenarioConfig(p);
+    ScenarioWorld w(p, cfg);
+    w.injector->arm();
+    w.engine->start();
+    w.runToCompletion(p.pdes);
+    return summarize(p, w);
 }
 
 void

@@ -24,6 +24,7 @@
 #include "fault/fault_plan.hh"
 #include "serve/serving_config.hh"
 #include "sim/json.hh"
+#include "sim/types.hh"
 #include "workloads/arrivals.hh"
 
 namespace ehpsim
@@ -59,6 +60,17 @@ struct ScenarioParams
      * dumpScenario() so serial and PDES documents can be cmp'd.
      */
     unsigned pdes = 0;
+
+    /**
+     * Checkpoint/fast-forward rehearsal (DESIGN.md §16): when > 0,
+     * run serially to this tick, quiesce, snapshot the world, and
+     * finish the run on a freshly built world restored from that
+     * snapshot (honoring the pdes knob). Output is byte-identical
+     * to a straight-through run; like pdes, the knob trades wall
+     * time only and is deliberately NOT serialized by
+     * dumpScenario() so the two documents can be cmp'd.
+     */
+    Tick checkpoint_at = 0;
 
     fault::FaultPlan faults;
 };
@@ -102,8 +114,27 @@ std::vector<workloads::ServingRequestSpec>
 scenarioTrace(const ScenarioParams &p);
 
 /** Build, run to completion, and summarize one scenario. Fatal if
- *  the run stalls before every request finishes. */
+ *  the run stalls before every request finishes. With
+ *  p.checkpoint_at > 0, the run round-trips through a snapshot at
+ *  that tick (see ScenarioParams::checkpoint_at). */
 ScenarioResult runServingScenario(const ScenarioParams &p);
+
+/**
+ * Run the scenario serially to p.checkpoint_at (> 0 required),
+ * quiesce, and return the saveWorld() blob — the `ehpsim_cli serve
+ * --checkpoint` save path, and the warm half of runServingScenario's
+ * rehearsal.
+ */
+std::string checkpointServingScenario(const ScenarioParams &p);
+
+/**
+ * Restore @p blob into a freshly built world for @p p and run it to
+ * completion (honoring p.pdes). @p p must describe the same scenario
+ * the blob was saved from — a mismatched topology or trace is fatal
+ * during restore. Fatal on a corrupt or truncated blob.
+ */
+ScenarioResult resumeServingScenario(const ScenarioParams &p,
+                                     const std::string &blob);
 
 /** Write params + metrics + the stats tree as one JSON object. */
 void dumpScenario(json::JsonWriter &jw, const ScenarioParams &p,

@@ -5,6 +5,7 @@
 
 #include "sim/access_tracker.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -97,6 +98,33 @@ ServingEngine::ServingEngine(
         r.output_tokens = trace_[i].output_tokens;
         requests_.push_back(r);
     }
+    // The scheduler pulse and the iteration completion are keyed
+    // one-shots: a checkpoint saves them pending and replays them
+    // through these factories on restore.
+    eventq()->registerKeyedFactory(
+        "serve.wake", [this](Tick when, std::uint64_t,
+                             std::uint64_t) { scheduleWake(when); });
+    eventq()->registerKeyedFactory(
+        "serve.finish",
+        [this](Tick when, std::uint64_t, std::uint64_t) {
+            scheduleFinish(when);
+        });
+}
+
+void
+ServingEngine::scheduleWake(Tick when)
+{
+    eventq()->scheduleKeyed(when, "serve.wake", 0, 0, [this] {
+        wake_scheduled_ = false;
+        step();
+    });
+}
+
+void
+ServingEngine::scheduleFinish(Tick when)
+{
+    eventq()->scheduleKeyed(when, "serve.finish", 0, 0,
+                            [this] { finishIteration(curTick()); });
 }
 
 void
@@ -105,10 +133,7 @@ ServingEngine::start()
     if (trace_.empty())
         return;
     wake_scheduled_ = true;
-    eventq()->scheduleCallback(trace_[0].arrival, [this] {
-        wake_scheduled_ = false;
-        step();
-    });
+    scheduleWake(trace_[0].arrival);
 }
 
 void
@@ -184,11 +209,7 @@ ServingEngine::step()
                   batcher_.runningCount(), " running");
         if (next_arrival_ < trace_.size() && !wake_scheduled_) {
             wake_scheduled_ = true;
-            eventq()->scheduleCallback(
-                trace_[next_arrival_].arrival, [this] {
-                    wake_scheduled_ = false;
-                    step();
-                });
+            scheduleWake(trace_[next_arrival_].arrival);
         }
         return;
     }
@@ -214,8 +235,7 @@ ServingEngine::launchIteration(IterationPlan plan)
     plan_ = std::move(plan);
 
     if (config_.tp == 1) {
-        eventq()->scheduleCallback(
-            now + base, [this] { finishIteration(curTick()); });
+        scheduleFinish(now + base);
         return;
     }
 
@@ -232,8 +252,7 @@ ServingEngine::launchIteration(IterationPlan plan)
     op->setOnComplete([this, comm_start, per_pass](Tick fin) {
         const Tick measured = fin - comm_start;
         const Tick extra = measured * (per_pass - 1);
-        eventq()->scheduleCallback(
-            fin + extra, [this] { finishIteration(curTick()); });
+        scheduleFinish(fin + extra);
     });
 }
 
@@ -303,6 +322,78 @@ ServingEngine::finishIteration(Tick now)
     plan_ = IterationPlan{};
     busy_ = false;
     step();
+}
+
+void
+ServingEngine::snapshot(SnapshotWriter &w) const
+{
+    StatGroup::snapshot(w);
+    w.putU64(requests_.size());
+    for (const Request &r : requests_) {
+        w.putU8(static_cast<std::uint8_t>(r.state));
+        w.putU32(r.prefill_done);
+        w.putU32(r.generated);
+        w.putU32(r.kv_tokens);
+        w.putU64(r.kv_blocks);
+        w.putU32(r.preemptions);
+        w.putU64(r.first_token);
+        w.putU64(r.finish);
+    }
+    w.putU64(next_arrival_);
+    w.putBool(busy_);
+    w.putBool(wake_scheduled_);
+    w.putF64(hbm_ratio_);
+    w.putU64(finished_);
+    w.putU64(last_finish_);
+    w.putU64(plan_.decode.size());
+    for (const std::uint64_t idx : plan_.decode)
+        w.putU64(idx);
+    w.putU64(plan_.prefill.size());
+    for (const auto &[idx, chunk] : plan_.prefill) {
+        w.putU64(idx);
+        w.putU32(chunk);
+    }
+    w.putU64(plan_.context_tokens);
+}
+
+void
+ServingEngine::restore(SnapshotReader &r)
+{
+    StatGroup::restore(r);
+    const std::uint64_t n = r.getU64();
+    if (n != requests_.size()) {
+        fatal("serving engine '", name(), "': snapshot holds ", n,
+              " requests but the trace built ", requests_.size(),
+              " — checkpoint/config mismatch");
+    }
+    for (Request &req : requests_) {
+        req.state = static_cast<RequestState>(r.getU8());
+        req.prefill_done = r.getU32();
+        req.generated = r.getU32();
+        req.kv_tokens = r.getU32();
+        req.kv_blocks = r.getU64();
+        req.preemptions = r.getU32();
+        req.first_token = r.getU64();
+        req.finish = r.getU64();
+    }
+    next_arrival_ = r.getU64();
+    busy_ = r.getBool();
+    wake_scheduled_ = r.getBool();
+    hbm_ratio_ = r.getF64();
+    finished_ = r.getU64();
+    last_finish_ = r.getU64();
+    plan_ = IterationPlan{};
+    const std::uint64_t nd = r.getU64();
+    plan_.decode.reserve(nd);
+    for (std::uint64_t i = 0; i < nd; ++i)
+        plan_.decode.push_back(r.getU64());
+    const std::uint64_t np = r.getU64();
+    plan_.prefill.reserve(np);
+    for (std::uint64_t i = 0; i < np; ++i) {
+        const std::uint64_t idx = r.getU64();
+        plan_.prefill.emplace_back(idx, r.getU32());
+    }
+    plan_.context_tokens = r.getU64();
 }
 
 } // namespace serve

@@ -88,6 +88,19 @@ class ServingEngine : public SimObject
     stats::Formula tokens_per_s;     ///< generated / makespan
     /** @} */
 
+    /**
+     * @{ checkpoint (DESIGN.md §16): stats + kv/batcher children
+     * (base walk), then per-request lifecycle state, the arrival
+     * cursor, scheduler flags, HBM derate ratio, finish bookkeeping,
+     * and the in-flight iteration plan. The engine's wake and
+     * iteration-finish events are KEYED ("serve.wake" /
+     * "serve.finish"), replayed by the EventQueue snapshot — a
+     * restored world must NOT call start() again.
+     */
+    void snapshot(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+    /** @} */
+
   private:
     /**
      * Scheduler pulse: drain arrivals, fold in HBM degradation,
@@ -113,6 +126,14 @@ class ServingEngine : public SimObject
     double iterationSeconds(const IterationPlan &plan) const;
 
     void finishRequest(Request &r, Tick now);
+
+    /** Schedule the keyed scheduler pulse ("serve.wake") at
+     *  @p when; doubles as its replay factory. */
+    void scheduleWake(Tick when);
+
+    /** Schedule the keyed iteration completion ("serve.finish") at
+     *  @p when; doubles as its replay factory. */
+    void scheduleFinish(Tick when);
 
     ServingConfig config_;
     std::vector<Request> requests_;

@@ -1,7 +1,10 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/access_tracker.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -36,6 +39,11 @@ EventPool::release(PoolEvent *ev)
     ev->destroy_(ev->store_);
     ev->invoke_ = nullptr;
     ev->destroy_ = nullptr;
+    // Clear the checkpoint identity so a recycled slot reused by a
+    // plain scheduleCallback() never masquerades as keyed.
+    ev->key_ = nullptr;
+    ev->a0_ = 0;
+    ev->a1_ = 0;
     ev->next_free_ = free_;
     free_ = ev;
 }
@@ -148,7 +156,23 @@ EventQueue::schedule(Event *ev, Tick when)
               " cur=", cur_tick_);
     ev->scheduled_ = true;
     ev->when_ = when;
-    ev->seq_ = next_seq_++;
+    if (restoring_) {
+        // A keyed factory is replaying a checkpointed event: pin the
+        // saved sequence number so the replay lands in the exact
+        // total-order slot it held when saved, and validate that the
+        // factory reproduced the original (tick, priority).
+        if (factory_scheduled_)
+            panic("keyed factory scheduled more than one event");
+        if (when != expect_when_ || ev->priority_ != expect_prio_)
+            panic("keyed factory replayed an event at tick ", when,
+                  " priority ", ev->priority_,
+                  "; the checkpoint recorded tick ", expect_when_,
+                  " priority ", expect_prio_);
+        factory_scheduled_ = true;
+        ev->seq_ = forced_seq_;
+    } else {
+        ev->seq_ = next_seq_++;
+    }
     pushEntry(Entry{when, ev->priority_, ev->seq_, ev});
     if (++live_count_ > peak_live_)
         peak_live_ = live_count_;
@@ -301,6 +325,114 @@ EventQueue::dispatchBatch()
         throw;
     }
     batch_.clear();
+}
+
+void
+EventQueue::registerKeyedFactory(const char *key, KeyedFactory fn)
+{
+    // Latest registrant owns the key: tests (and tooling) may build
+    // several short-lived components against one queue, and only the
+    // component alive at restore time can replay its events.
+    for (auto &[name, factory] : factories_) {
+        if (name == key) {
+            factory = std::move(fn);
+            return;
+        }
+    }
+    factories_.emplace_back(key, std::move(fn));
+}
+
+bool
+EventQueue::allPendingKeyed() const
+{
+    for (const Entry &e : heap_) {
+        if (!e.ev->pooled_ ||
+            !static_cast<const PoolEvent *>(e.ev)->key_)
+            return false;
+    }
+    return true;
+}
+
+void
+EventQueue::save(SnapshotWriter &w) const
+{
+    if (!batch_.empty())
+        panic("EventQueue::save from inside a dispatch");
+    w.section("eventq");
+    w.putU64(cur_tick_);
+    w.putU64(next_seq_);
+    w.putU64(num_processed_);
+    w.putU64(peak_live_);
+    // The heap is only partially ordered; serialize in the total
+    // (tick, priority, seq) order so identical queue states always
+    // produce identical bytes.
+    std::vector<Entry> pending(heap_);
+    std::sort(pending.begin(), pending.end(), entryLess);
+    w.putU32(static_cast<std::uint32_t>(pending.size()));
+    for (const Entry &e : pending) {
+        const auto *pe = e.ev->pooled_
+                             ? static_cast<const PoolEvent *>(e.ev)
+                             : nullptr;
+        if (!pe || !pe->key_)
+            fatal("snapshot: pending event at tick ", e.when,
+                  " (priority ", e.priority,
+                  ") is not checkpoint-aware; quiesce the simulation "
+                  "to an op boundary before saving");
+        w.putU64(e.when);
+        w.putI64(e.priority);
+        w.putU64(e.seq);
+        w.putString(pe->key_);
+        w.putU64(pe->a0_);
+        w.putU64(pe->a1_);
+    }
+}
+
+void
+EventQueue::restore(SnapshotReader &r)
+{
+    if (live_count_ != 0 || num_processed_ != 0)
+        panic("EventQueue::restore needs a freshly built queue");
+    r.section("eventq");
+    cur_tick_ = r.getU64();
+    const std::uint64_t saved_seq = r.getU64();
+    const std::uint64_t saved_processed = r.getU64();
+    const std::uint64_t saved_peak = r.getU64();
+    const auto npending = r.getU32();
+    restoring_ = true;
+    for (std::uint32_t i = 0; i < npending; ++i) {
+        const Tick when = r.getU64();
+        const auto priority = static_cast<int>(r.getI64());
+        const std::uint64_t seq = r.getU64();
+        const std::string key = r.getString();
+        const std::uint64_t a0 = r.getU64();
+        const std::uint64_t a1 = r.getU64();
+        const KeyedFactory *factory = nullptr;
+        for (const auto &[name, f] : factories_) {
+            if (name == key) {
+                factory = &f;
+                break;
+            }
+        }
+        if (!factory) {
+            restoring_ = false;
+            fatal("snapshot: no keyed-event factory registered for '",
+                  key, "' — the restored world must construct the "
+                  "same components as the saved one");
+        }
+        expect_when_ = when;
+        expect_prio_ = priority;
+        forced_seq_ = seq;
+        factory_scheduled_ = false;
+        (*factory)(when, a0, a1);
+        if (!factory_scheduled_)
+            panic("keyed factory '", key, "' scheduled no event");
+    }
+    restoring_ = false;
+    next_seq_ = saved_seq;
+    num_processed_ = saved_processed;
+    // The saved peak covers the whole warmup; replaying only the
+    // still-pending subset can never exceed it.
+    peak_live_ = saved_peak;
 }
 
 Tick

@@ -33,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <new>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -44,6 +45,8 @@ namespace ehpsim
 
 class EventQueue;
 class EventPool;
+class SnapshotWriter;
+class SnapshotReader;
 
 /**
  * Base class for anything schedulable on an EventQueue.
@@ -145,6 +148,13 @@ class PoolEvent final : public Event
     void (*invoke_)(void *) = nullptr;
     void (*destroy_)(void *) = nullptr;
     PoolEvent *next_free_ = nullptr;
+    /** Checkpoint identity (scheduleKeyed): nullptr for plain
+     *  one-shots. Points at stable storage (a string literal), so
+     *  it stays valid for as long as the event is pending. */
+    const char *key_ = nullptr;
+    /** Opaque replay payload saved alongside key_. */
+    std::uint64_t a0_ = 0;
+    std::uint64_t a1_ = 0;
     alignas(std::max_align_t) unsigned char store_[inlineCallbackBytes];
 };
 
@@ -241,6 +251,83 @@ class EventQueue
      */
     void scheduleLambda(Tick when, std::function<void()> fn,
                         int priority = Event::defaultPriority);
+
+    /**
+     * Schedule a checkpoint-aware one-shot (DESIGN.md §16): exactly
+     * scheduleCallback(), except the pooled event also records
+     * (@p key, @p a0, @p a1) so save() can serialize it while
+     * pending and restore() can replay it through the factory
+     * registered under @p key. @p key must point at storage that
+     * outlives the event (a string literal). The callable must fit
+     * the pool's inline slot — keyed events always take the pooled
+     * path, never the heap LambdaEvent fallback.
+     */
+    template <typename F>
+    void
+    scheduleKeyed(Tick when, const char *key, std::uint64_t a0,
+                  std::uint64_t a1, F &&fn,
+                  int priority = Event::defaultPriority)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= inlineCallbackBytes &&
+                          alignof(Fn) <= alignof(std::max_align_t) &&
+                          std::is_nothrow_constructible_v<Fn, F &&>,
+                      "keyed one-shot callable must fit the pool's "
+                      "inline slot");
+        PoolEvent *ev = pool_.acquire();
+        ::new (static_cast<void *>(ev->store_)) Fn(std::forward<F>(fn));
+        ev->invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+        ev->destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        ev->priority_ = priority;
+        ev->key_ = key;
+        ev->a0_ = a0;
+        ev->a1_ = a1;
+        schedule(ev, when);
+    }
+
+    /**
+     * A pending-event replayer: restore() invokes the factory
+     * registered under a saved event's key with the saved
+     * (tick, a0, a1). The factory must issue exactly one
+     * scheduleKeyed() with the same key, tick, and priority as the
+     * original — the queue force-assigns the saved sequence number
+     * and validates tick and priority, so the replayed event slots
+     * into the exact total-order position it held when saved.
+     */
+    using KeyedFactory =
+        std::function<void(Tick, std::uint64_t, std::uint64_t)>;
+
+    /**
+     * Register the replayer for @p key (panics on a duplicate).
+     * Components register their factories at construction time —
+     * harmless when no restore ever happens — so any freshly built
+     * world can absorb a checkpoint.
+     */
+    void registerKeyedFactory(const char *key, KeyedFactory fn);
+
+    /**
+     * True when every pending event is keyed (checkpoint-aware),
+     * i.e. the queue is at a quiesce point where save() succeeds.
+     * Callers fast-forward to one with: while (!allPendingKeyed()
+     * && !empty()) step();
+     */
+    bool allPendingKeyed() const;
+
+    /**
+     * Serialize the tick/sequence counters and every pending event,
+     * in (tick, priority, seq) order. Fatal if any pending event is
+     * unkeyed — quiesce first. Must not be called from inside a
+     * dispatch.
+     */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Rebuild counters and pending events from a checkpoint into
+     * this queue, which must be freshly built (nothing scheduled,
+     * nothing processed). Each saved event replays through its
+     * registered KeyedFactory; a missing factory is fatal.
+     */
+    void restore(SnapshotReader &r);
 
     /**
      * Remove a scheduled event from the queue. Self-deleting events
@@ -364,6 +451,21 @@ class EventQueue
     std::uint64_t num_processed_ = 0;
     std::size_t live_count_ = 0;
     std::size_t peak_live_ = 0;
+
+    /** Keyed-event replayers, looked up by name during restore().
+     *  A plain vector: registries hold a handful of entries and a
+     *  linear scan keeps iteration order deterministic. */
+    std::vector<std::pair<std::string, KeyedFactory>> factories_;
+
+    /** @{ restore() replay state: while restoring_, schedule()
+     *  force-assigns forced_seq_ and validates (tick, priority)
+     *  against what the checkpoint recorded. */
+    bool restoring_ = false;
+    bool factory_scheduled_ = false;
+    std::uint64_t forced_seq_ = 0;
+    Tick expect_when_ = 0;
+    int expect_prio_ = 0;
+    /** @} */
 };
 
 } // namespace ehpsim

@@ -1,5 +1,7 @@
 #include "sim/rng.hh"
 
+#include "sim/snapshot.hh"
+
 namespace ehpsim
 {
 
@@ -73,6 +75,20 @@ Rng
 Rng::fork()
 {
     return Rng(next());
+}
+
+void
+Rng::snapshot(SnapshotWriter &w) const
+{
+    for (const auto s : s_)
+        w.putU64(s);
+}
+
+void
+Rng::restore(SnapshotReader &r)
+{
+    for (auto &s : s_)
+        s = r.getU64();
 }
 
 double

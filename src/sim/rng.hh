@@ -13,6 +13,9 @@
 namespace ehpsim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 class Rng
 {
   public:
@@ -32,6 +35,11 @@ class Rng
 
     /** Derive an independent child stream (for per-component RNGs). */
     Rng fork();
+
+    /** @{ checkpoint the stream position (DESIGN.md §16) */
+    void snapshot(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,35 @@
+#include "sim/sim_object.hh"
+
+#include "sim/logging.hh"
+#include "sim/snapshot.hh"
+
+namespace ehpsim
+{
+
+std::string
+saveWorld(const EventQueue &eq, const stats::StatGroup &root)
+{
+    SnapshotWriter w;
+    w.setHorizon(eq.curTick());
+    eq.save(w);
+    w.section("objects");
+    root.snapshot(w);
+    w.section("end");
+    return w.blob();
+}
+
+void
+restoreWorld(const std::string &blob, EventQueue &eq,
+             stats::StatGroup &root)
+{
+    SnapshotReader r(blob);
+    eq.restore(r);
+    r.section("objects");
+    root.restore(r);
+    r.section("end");
+    if (!r.atEnd())
+        fatal("snapshot: trailing bytes after the end marker — "
+              "corrupt checkpoint");
+}
+
+} // namespace ehpsim

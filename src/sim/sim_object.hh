@@ -4,6 +4,14 @@
  *
  * A SimObject couples a name, a StatGroup node, and a pointer to the
  * owning EventQueue, mirroring gem5's SimObject in miniature.
+ *
+ * Checkpointing: SimObject inherits the snapshot(SnapshotWriter&) /
+ * restore(SnapshotReader&) virtual pair from stats::StatGroup
+ * (DESIGN.md §16). The inherited base walk serializes the object's
+ * registered stats and recurses into its children; state-bearing
+ * components override both, calling the base first and then
+ * appending their extra dynamic state. saveWorld()/restoreWorld()
+ * below bundle the object tree with its EventQueue into one blob.
  */
 
 #ifndef EHPSIM_SIM_SIM_OBJECT_HH
@@ -71,6 +79,25 @@ class SimObject : public stats::StatGroup
     EventQueue *eventq_;
     int race_domain_ = -1;
 };
+
+/**
+ * Checkpoint a whole simulation — queue first (counters + pending
+ * keyed events), then the object tree rooted at @p root — into one
+ * versioned blob. The simulation must be quiesced: every pending
+ * event keyed, no collective op in flight.
+ */
+std::string saveWorld(const EventQueue &eq,
+                      const stats::StatGroup &root);
+
+/**
+ * Restore a blob produced by saveWorld() into a freshly constructed
+ * world: the same components, built in the same order, with nothing
+ * scheduled and nothing run (in particular: do not start engines or
+ * arm injectors — their pending events replay from the blob).
+ * Fatal on a corrupt, truncated, or mismatched checkpoint.
+ */
+void restoreWorld(const std::string &blob, EventQueue &eq,
+                  stats::StatGroup &root);
 
 } // namespace ehpsim
 

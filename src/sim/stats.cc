@@ -5,6 +5,7 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ehpsim
 {
@@ -28,6 +29,18 @@ void
 Scalar::dumpJson(json::JsonWriter &jw) const
 {
     jw.kv(name(), value_);
+}
+
+void
+Scalar::snapshot(SnapshotWriter &w) const
+{
+    w.putF64(value_);
+}
+
+void
+Scalar::restore(SnapshotReader &r)
+{
+    value_ = r.getF64();
 }
 
 void
@@ -74,6 +87,24 @@ Average::reset()
     min_ = 0;
     max_ = 0;
     count_ = 0;
+}
+
+void
+Average::snapshot(SnapshotWriter &w) const
+{
+    w.putF64(sum_);
+    w.putF64(min_);
+    w.putF64(max_);
+    w.putU64(count_);
+}
+
+void
+Average::restore(SnapshotReader &r)
+{
+    sum_ = r.getF64();
+    min_ = r.getF64();
+    max_ = r.getF64();
+    count_ = r.getU64();
 }
 
 Distribution::Distribution(StatGroup *parent, std::string name,
@@ -160,6 +191,40 @@ Distribution::reset()
 }
 
 void
+Distribution::snapshot(SnapshotWriter &w) const
+{
+    w.putF64(lo_);
+    w.putF64(hi_);
+    w.putU32(static_cast<std::uint32_t>(buckets_.size()));
+    for (const auto b : buckets_)
+        w.putU64(b);
+    w.putU64(underflow_);
+    w.putU64(overflow_);
+    w.putU64(count_);
+    w.putF64(sum_);
+}
+
+void
+Distribution::restore(SnapshotReader &r)
+{
+    // The bucket layout is configuration, not history: the restored
+    // world must already be init()ed to the saved shape.
+    const double lo = r.getF64();
+    const double hi = r.getF64();
+    const auto nbuckets = r.getU32();
+    if (lo != lo_ || hi != hi_ || nbuckets != buckets_.size())
+        fatal("snapshot: distribution '", name(), "' saved as [", lo,
+              ", ", hi, ") x ", nbuckets, " but configured as [", lo_,
+              ", ", hi_, ") x ", buckets_.size());
+    for (auto &b : buckets_)
+        b = r.getU64();
+    underflow_ = r.getU64();
+    overflow_ = r.getU64();
+    count_ = r.getU64();
+    sum_ = r.getF64();
+}
+
+void
 Percentile::sample(double v)
 {
     samples_.push_back(v);
@@ -238,6 +303,30 @@ Percentile::reset()
     samples_.clear();
     sorted_ = true;
     sum_ = 0;
+}
+
+void
+Percentile::snapshot(SnapshotWriter &w) const
+{
+    // Physical sample order never reaches the output (percentiles
+    // sort, mean uses the pre-accumulated sum_), so saving whatever
+    // order the vector is in preserves byte-identity.
+    w.putU64(samples_.size());
+    for (const auto s : samples_)
+        w.putF64(s);
+    w.putF64(sum_);
+}
+
+void
+Percentile::restore(SnapshotReader &r)
+{
+    const auto n = r.getU64();
+    samples_.clear();
+    samples_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        samples_.push_back(r.getF64());
+    sum_ = r.getF64();
+    sorted_ = samples_.size() <= 1;
 }
 
 Formula::Formula(StatGroup *parent, std::string name, std::string desc,
@@ -331,6 +420,49 @@ dumpJson(const StatGroup &root, std::ostream &os)
     root.dumpJsonStats(jw);
     jw.endObject();
     os << "\n";
+}
+
+void
+StatGroup::snapshot(SnapshotWriter &w) const
+{
+    w.section("group");
+    w.putString(name_);
+    w.putU32(static_cast<std::uint32_t>(stats_.size()));
+    for (const auto *stat : stats_) {
+        w.putString(stat->name());
+        stat->snapshot(w);
+    }
+    w.putU32(static_cast<std::uint32_t>(groups_.size()));
+    for (const auto *group : groups_)
+        group->snapshot(w);
+}
+
+void
+StatGroup::restore(SnapshotReader &r)
+{
+    r.section("group");
+    const std::string saved_name = r.getString();
+    if (saved_name != name_)
+        fatal("snapshot: expected stat group '", statPath(),
+              "', checkpoint holds '", saved_name,
+              "' — simulation shape mismatch");
+    const auto nstats = r.getU32();
+    if (nstats != stats_.size())
+        fatal("snapshot: group '", statPath(), "' has ",
+              stats_.size(), " stats, checkpoint holds ", nstats);
+    for (auto *stat : stats_) {
+        const std::string sname = r.getString();
+        if (sname != stat->name())
+            fatal("snapshot: group '", statPath(), "' expected stat '",
+                  stat->name(), "', checkpoint holds '", sname, "'");
+        stat->restore(r);
+    }
+    const auto ngroups = r.getU32();
+    if (ngroups != groups_.size())
+        fatal("snapshot: group '", statPath(), "' has ",
+              groups_.size(), " children, checkpoint holds ", ngroups);
+    for (auto *group : groups_)
+        group->restore(r);
 }
 
 StatBase *

@@ -26,6 +26,9 @@ namespace json
 class JsonWriter;
 } // namespace json
 
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace stats
 {
 
@@ -56,6 +59,17 @@ class StatBase
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
+    /**
+     * @{ Checkpoint this stat's accumulated value(s) (DESIGN.md
+     * §16). The defaults serialize nothing, which is correct only
+     * for stats with no mutable state (Formula); every accumulating
+     * kind overrides both. Restore must consume exactly the bytes
+     * snapshot produced.
+     */
+    virtual void snapshot(SnapshotWriter &) const {}
+    virtual void restore(SnapshotReader &) {}
+    /** @} */
+
   private:
     std::string name_;
     std::string desc_;
@@ -80,6 +94,10 @@ class Scalar : public StatBase
     void dumpJson(json::JsonWriter &jw) const override;
 
     void reset() override { value_ = 0; }
+
+    void snapshot(SnapshotWriter &w) const override;
+
+    void restore(SnapshotReader &r) override;
 
   private:
     double value_ = 0;
@@ -106,6 +124,10 @@ class Average : public StatBase
     void dumpJson(json::JsonWriter &jw) const override;
 
     void reset() override;
+
+    void snapshot(SnapshotWriter &w) const override;
+
+    void restore(SnapshotReader &r) override;
 
   private:
     double sum_ = 0;
@@ -145,6 +167,10 @@ class Distribution : public StatBase
     void dumpJson(json::JsonWriter &jw) const override;
 
     void reset() override;
+
+    void snapshot(SnapshotWriter &w) const override;
+
+    void restore(SnapshotReader &r) override;
 
   private:
     double lo_ = 0;
@@ -193,6 +219,10 @@ class Percentile : public StatBase
     void dumpJson(json::JsonWriter &jw) const override;
 
     void reset() override;
+
+    void snapshot(SnapshotWriter &w) const override;
+
+    void restore(SnapshotReader &r) override;
 
   private:
     /** Sort samples_ unless already sorted since the last sample. */
@@ -257,6 +287,20 @@ class StatGroup
     const std::vector<StatBase *> &statList() const { return stats_; }
 
     const std::vector<StatGroup *> &groupList() const { return groups_; }
+
+    /**
+     * @{ Checkpoint this group's subtree (DESIGN.md §16). The base
+     * walk serializes every registered stat and recurses into child
+     * groups virtually, both in registration order, validating
+     * group and stat names on restore — so a checkpoint taken from
+     * a differently-shaped simulation fails loudly. State-bearing
+     * subclasses override both, call the base FIRST, then append
+     * their extra (non-stat) dynamic state; restore must mirror the
+     * exact write order.
+     */
+    virtual void snapshot(SnapshotWriter &w) const;
+    virtual void restore(SnapshotReader &r);
+    /** @} */
 
     /** Find a stat by name in this group only; nullptr if absent. */
     StatBase *findStat(const std::string &name) const;

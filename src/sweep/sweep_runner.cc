@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/wall_timer.hh"
 
 namespace ehpsim
@@ -45,6 +47,52 @@ SweepRunner::addJob(std::string name,
 {
     jobs_.push_back(SweepJob{std::move(name), std::move(fn)});
     return jobs_.size() - 1;
+}
+
+std::size_t
+SweepRunner::addForkedJob(std::string name, const WarmupSpec &warmup,
+                          std::function<void(const std::string &,
+                                             json::JsonWriter &)>
+                              fn)
+{
+    if (!warmup.produce)
+        fatal("sweep: forked job '", name,
+              "' has no warmup producer");
+
+    const std::uint64_t hash = fnv1a(warmup.config);
+    WarmupEntry *entry = nullptr;
+    for (const auto &e : warmups_) {
+        if (e->hash == hash && e->config == warmup.config) {
+            entry = e.get();
+            break;
+        }
+    }
+    if (!entry) {
+        auto fresh = std::make_unique<WarmupEntry>();
+        fresh->hash = hash;
+        fresh->config = warmup.config;
+        fresh->produce = warmup.produce;
+        entry = fresh.get();
+        warmups_.push_back(std::move(fresh));
+    }
+
+    return addJob(
+        std::move(name),
+        [entry, fn = std::move(fn)](json::JsonWriter &jw) {
+            // First arrival runs the warmup; the once_flag both
+            // serializes that and publishes blob/error to everyone
+            // who forks after.
+            std::call_once(entry->once, [entry] {
+                try {
+                    entry->blob = entry->produce();
+                } catch (...) {
+                    entry->error = std::current_exception();
+                }
+            });
+            if (entry->error)
+                std::rethrow_exception(entry->error);
+            fn(entry->blob, jw);
+        });
 }
 
 std::vector<JobResult>

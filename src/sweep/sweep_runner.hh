@@ -24,7 +24,10 @@
 #define EHPSIM_SWEEP_SWEEP_RUNNER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -60,6 +63,24 @@ struct SweepJob
     std::function<void(json::JsonWriter &)> fn;
 };
 
+/**
+ * A shared warmup prefix for forked jobs (DESIGN.md §16). Jobs
+ * registered with an equal @c config string share one produce()
+ * call: whichever worker reaches the prefix first runs it (and pays
+ * its wall time); everyone else blocks on the result and forks from
+ * the cached blob. @c config is the serialized pre-knob
+ * configuration — everything that shapes the simulation up to the
+ * checkpoint — and is hashed (fnv1a) for the dedup lookup, with a
+ * full string compare guarding against collisions.
+ */
+struct WarmupSpec
+{
+    std::string config;
+    /** Run the warmup and return the checkpoint blob
+     *  (saveWorld()). Called at most once per unique config. */
+    std::function<std::string()> produce;
+};
+
 class SweepRunner
 {
   public:
@@ -72,7 +93,26 @@ class SweepRunner
     std::size_t addJob(std::string name,
                        std::function<void(json::JsonWriter &)> fn);
 
+    /**
+     * Append a job that forks from a shared warmup checkpoint:
+     * @p fn receives the blob @p warmup's produce() returned and
+     * must restore it into a fresh world before running its knob
+     * point. Jobs whose WarmupSpec::config strings are equal share
+     * one produce() call across the pool, so a sweep of N points
+     * over one prefix simulates the prefix once instead of N times.
+     * A produce() failure is replayed to every job of that prefix
+     * (each fails with the same error). @return the job's index.
+     */
+    std::size_t
+    addForkedJob(std::string name, const WarmupSpec &warmup,
+                 std::function<void(const std::string &blob,
+                                    json::JsonWriter &)>
+                     fn);
+
     std::size_t numJobs() const { return jobs_.size(); }
+
+    /** Distinct warmup prefixes registered via addForkedJob(). */
+    std::size_t numWarmups() const { return warmups_.size(); }
 
     /**
      * Run every job across the worker pool and block until all
@@ -94,8 +134,24 @@ class SweepRunner
     static double totalJobSeconds(const std::vector<JobResult> &results);
 
   private:
+    /** One shared warmup prefix: the blob is produced under the
+     *  once_flag by the first job to need it and read-only after,
+     *  so forked jobs need no further synchronization. */
+    struct WarmupEntry
+    {
+        std::uint64_t hash = 0;
+        std::string config;
+        std::function<std::string()> produce;
+        std::once_flag once;
+        std::string blob;
+        std::exception_ptr error;
+    };
+
     unsigned workers_;
     std::vector<SweepJob> jobs_;
+    /** unique_ptr for address stability: jobs capture raw entry
+     *  pointers, and entries are never erased. */
+    std::vector<std::unique_ptr<WarmupEntry>> warmups_;
 };
 
 } // namespace sweep

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * End-to-end checks of ehpsim_cli flag handling that unit tests
+ * can't see: `sweep --pdes` must be rejected with a clear error (it
+ * was silently accepted and ignored through PR 9), and the comm
+ * checkpoint/fork path must produce byte-identical JSON to the
+ * straight-through run while actually sharing the warmup (DESIGN.md
+ * §16). The binary comes in via EHPSIM_CLI_BIN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+struct CmdResult
+{
+    int exit_code = -1;
+    std::string stderr_text;
+};
+
+/** Run the CLI with @p args; capture exit code and stderr. */
+CmdResult
+runCli(const std::string &args, const std::string &tag)
+{
+    const std::string err_path =
+        std::string("cli_test_") + tag + ".err";
+    const std::string cmd = std::string(EHPSIM_CLI_BIN) + " " + args +
+                            " > /dev/null 2> " + err_path;
+    CmdResult res;
+    const int rc = std::system(cmd.c_str());
+    res.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    std::ifstream in(err_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    res.stderr_text = ss.str();
+    std::remove(err_path.c_str());
+    return res;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // anonymous namespace
+
+TEST(CliSweep, PdesFlagIsRejectedWithClearError)
+{
+    const auto res = runCli(
+        "sweep --products mi300a --workloads triad --pdes 4",
+        "sweep_pdes");
+    EXPECT_EQ(res.exit_code, 2);
+    EXPECT_NE(res.stderr_text.find("--pdes is not supported"),
+              std::string::npos)
+        << res.stderr_text;
+    // The error must point at the supported alternatives.
+    EXPECT_NE(res.stderr_text.find("--jobs"), std::string::npos)
+        << res.stderr_text;
+}
+
+TEST(CliSweep, PlainSweepStillWorks)
+{
+    const auto res = runCli(
+        "sweep --products mi300a --workloads triad "
+        "--json cli_test_sweep.json",
+        "sweep_ok");
+    EXPECT_EQ(res.exit_code, 0) << res.stderr_text;
+    EXPECT_FALSE(slurp("cli_test_sweep.json").empty());
+    std::remove("cli_test_sweep.json");
+}
+
+TEST(CliComm, ForkedWarmupSweepIsByteIdentical)
+{
+    const std::string common =
+        "comm --topology octo --collective all_reduce "
+        "--algos ring,direct --sizes 1M,4M --warmup 2 ";
+    const auto straight =
+        runCli(common + "--json cli_test_straight.json", "straight");
+    ASSERT_EQ(straight.exit_code, 0) << straight.stderr_text;
+    const auto forked = runCli(
+        common + "--fork --jobs 4 --json cli_test_fork.json", "fork");
+    ASSERT_EQ(forked.exit_code, 0) << forked.stderr_text;
+
+    EXPECT_EQ(slurp("cli_test_straight.json"),
+              slurp("cli_test_fork.json"));
+    std::remove("cli_test_straight.json");
+    std::remove("cli_test_fork.json");
+}
+
+TEST(CliComm, CheckpointFileSavesThenLoads)
+{
+    std::remove("cli_test_warm.ckpt");
+    const std::string common =
+        "comm --topology octo --algos ring --sizes 1M --warmup 2 "
+        "--fork --checkpoint cli_test_warm.ckpt ";
+    const auto save =
+        runCli(common + "--json cli_test_c1.json", "ckpt_save");
+    ASSERT_EQ(save.exit_code, 0) << save.stderr_text;
+    EXPECT_NE(save.stderr_text.find("checkpoint saved"),
+              std::string::npos)
+        << save.stderr_text;
+
+    const auto load =
+        runCli(common + "--json cli_test_c2.json", "ckpt_load");
+    ASSERT_EQ(load.exit_code, 0) << load.stderr_text;
+    EXPECT_NE(load.stderr_text.find("loading warmup checkpoint"),
+              std::string::npos)
+        << load.stderr_text;
+
+    EXPECT_EQ(slurp("cli_test_c1.json"), slurp("cli_test_c2.json"));
+    std::remove("cli_test_warm.ckpt");
+    std::remove("cli_test_c1.json");
+    std::remove("cli_test_c2.json");
+}
+
+TEST(CliComm, ForkWithoutWarmupIsRejected)
+{
+    const auto res = runCli(
+        "comm --topology octo --algos ring --sizes 1M --fork",
+        "fork_bare");
+    EXPECT_NE(res.exit_code, 0);
+    EXPECT_NE(res.stderr_text.find("--fork needs a warmup prefix"),
+              std::string::npos)
+        << res.stderr_text;
+}
+
+TEST(CliServe, CheckpointAtIsByteIdentical)
+{
+    const std::string common =
+        "serve --devices mi300x --loads 1.0 --tp 2 --requests 6 "
+        "--seed 42 --input-tokens 256 --output-tokens 32 ";
+    const auto straight =
+        runCli(common + "--json cli_test_s1.json", "serve_straight");
+    ASSERT_EQ(straight.exit_code, 0) << straight.stderr_text;
+    const auto forked = runCli(common +
+                                   "--checkpoint-at 500000000000 "
+                                   "--json cli_test_s2.json",
+                               "serve_ckpt");
+    ASSERT_EQ(forked.exit_code, 0) << forked.stderr_text;
+
+    EXPECT_EQ(slurp("cli_test_s1.json"), slurp("cli_test_s2.json"));
+    std::remove("cli_test_s1.json");
+    std::remove("cli_test_s2.json");
+}

@@ -1,0 +1,26 @@
+// Fixture: snapshot-pair stays quiet when both halves are declared,
+// when a class has neither (no checkpoint participation), and when
+// a deliberate one-sided override carries an allow().
+
+class FullyCheckpointed
+{
+  public:
+    void snapshot(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
+  private:
+    double warmed_state = 0;
+};
+
+struct NoDynamicState
+{
+    int config_only = 0;
+};
+
+// A read-only inspector that consumes a checkpoint it never writes
+// (the stream it reads is produced elsewhere).
+// ehpsim-lint: allow(snapshot-pair)
+struct CheckpointInspector
+{
+    void restore(SnapshotReader &r);
+};

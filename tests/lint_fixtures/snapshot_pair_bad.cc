@@ -1,0 +1,18 @@
+// Fixture: snapshot-pair must flag classes overriding one half of
+// the checkpoint pair. Two bad shapes: snapshot without restore,
+// and restore without snapshot.
+
+struct HalfSaved
+{
+    void snapshot(SnapshotWriter &w) const;
+    double warmed_state = 0;
+};
+
+class HalfRestored
+{
+  public:
+    void restore(SnapshotReader &r);
+
+  private:
+    double warmed_state = 0;
+};

@@ -192,6 +192,20 @@ TEST(LintFixtures, PointerKeyAllowedIsClean)
     EXPECT_TRUE(lintFixture("pointer_key_allowed.cc").empty());
 }
 
+TEST(LintFixtures, SnapshotPairBadIsFlagged)
+{
+    const auto findings = lintFixture("snapshot_pair_bad.cc");
+    // snapshot-without-restore and restore-without-snapshot.
+    EXPECT_EQ(countOnly(findings, Rule::snapshotPair), 2u);
+}
+
+TEST(LintFixtures, SnapshotPairAllowedIsClean)
+{
+    // Both halves declared, neither declared, and a documented
+    // one-sided reader behind an allow().
+    EXPECT_TRUE(lintFixture("snapshot_pair_allowed.cc").empty());
+}
+
 // ---------------------------------------------------------------------------
 // 2. Unit tests on inline snippets.
 // ---------------------------------------------------------------------------

@@ -76,7 +76,7 @@ TEST(PerfKernel, QuickJsonHasSchemaAndBenchmarks)
     for (const char *name :
          {"schedule_churn", "oneshot_storm", "oneshot_storm_pooled",
           "comm_allreduce_octo", "comm_allreduce_octo_pdes",
-          "fault_storm"}) {
+          "fault_storm", "checkpoint_fork"}) {
         EXPECT_NE(doc.find(std::string("\"name\": \"") + name + "\""),
                   std::string::npos)
             << "missing benchmark " << name;

@@ -750,6 +750,85 @@ checkDupStat(const FileLintState &st)
 }
 
 void
+checkSnapshotPair(const FileLintState &st)
+{
+    // The checkpoint walk (DESIGN.md §16) has no framing between
+    // objects: SnapshotWriter and SnapshotReader must visit the
+    // exact same record sequence, so a class overriding only one of
+    // snapshot(SnapshotWriter&) / restore(SnapshotReader&) desyncs
+    // the stream for everything serialized after it — the restore
+    // either fatals at the next tag mismatch or silently reads the
+    // wrong bytes. Flag the class declaration.
+    const std::string &code = st.code;
+    for (const char *kw : {"class", "struct"}) {
+        std::size_t p = 0;
+        while ((p = findWord(code, kw, p)) != std::string::npos) {
+            const std::size_t at = p;
+            p += std::string(kw).size();
+            std::size_t i = skipSpace(code, p);
+            const std::string cname = readQualifiedIdent(code, i);
+            if (cname.empty())
+                continue;
+            // Only a definition: the name is followed by its base
+            // list or body. Forward declarations (';'), template
+            // parameters ("class T>"), and elaborated type uses all
+            // drop out here.
+            std::size_t after = skipSpace(code, i + cname.size());
+            if (after >= code.size() ||
+                (code[after] != '{' && code[after] != ':'))
+                continue;
+            std::size_t open = code.find('{', after);
+            if (open == std::string::npos)
+                continue;
+            int depth = 0;
+            std::size_t end = open;
+            for (; end < code.size(); ++end) {
+                if (code[end] == '{') {
+                    ++depth;
+                } else if (code[end] == '}') {
+                    if (--depth == 0)
+                        break;
+                }
+            }
+            const auto declares = [&](const std::string &fn,
+                                      const std::string &arg) {
+                std::size_t q = open;
+                while ((q = findWord(code, fn, q)) !=
+                           std::string::npos &&
+                       q < end) {
+                    std::size_t k = skipSpace(code, q + fn.size());
+                    if (k < end && code[k] == '(') {
+                        const std::size_t close = code.find(')', k);
+                        if (close != std::string::npos &&
+                            close < end &&
+                            code.find(arg, k) < close)
+                            return true;
+                    }
+                    q += fn.size();
+                }
+                return false;
+            };
+            const bool snap = declares("snapshot", "SnapshotWriter");
+            const bool rest = declares("restore", "SnapshotReader");
+            if (snap != rest) {
+                st.report(Rule::snapshotPair, at,
+                          "class '" + cname + "' declares " +
+                              (snap ? "snapshot(SnapshotWriter&) "
+                                      "without restore("
+                                      "SnapshotReader&)"
+                                    : "restore(SnapshotReader&) "
+                                      "without snapshot("
+                                      "SnapshotWriter&)") +
+                              " — the checkpoint stream has no "
+                              "framing, so a one-sided override "
+                              "desyncs every object serialized "
+                              "after this one");
+            }
+        }
+    }
+}
+
+void
 checkFloatArith(const FileLintState &st)
 {
     std::size_t p = 0;
@@ -1029,6 +1108,13 @@ lintOne(const std::string &file, const std::string &content,
             pathContains(file, "sim/access_tracker")) {
             return false;
         }
+        // The kernel's own pair is save()/restore() — EventQueue
+        // restores through the keyed-factory registry, not the
+        // StatGroup walk — so its one-sided restore() is by design.
+        if (r == Rule::snapshotPair &&
+            pathContains(file, "sim/event_queue")) {
+            return false;
+        }
         return true;
     };
 
@@ -1052,6 +1138,8 @@ lintOne(const std::string &file, const std::string &content,
         checkStaticState(st);
     if (enabled(Rule::pointerKey))
         checkPointerKey(st);
+    if (enabled(Rule::snapshotPair))
+        checkSnapshotPair(st);
 }
 
 bool
@@ -1092,6 +1180,8 @@ ruleName(Rule r)
         return "static-state";
       case Rule::pointerKey:
         return "pointer-key";
+      case Rule::snapshotPair:
+        return "snapshot-pair";
     }
     return "unknown";
 }
@@ -1115,7 +1205,7 @@ allRules()
         Rule::wallClock,  Rule::rawRand,    Rule::unorderedIter,
         Rule::eventNew,   Rule::eventAlloc,
         Rule::dupStat,    Rule::floatArith, Rule::chunkAlloc,
-        Rule::staticState, Rule::pointerKey,
+        Rule::staticState, Rule::pointerKey, Rule::snapshotPair,
     };
     return rules;
 }
@@ -1163,6 +1253,12 @@ ruleRationale(Rule r)
         return "ordered containers keyed by raw pointers iterate in "
                "allocator-dependent order; key by a stable id or "
                "name instead";
+      case Rule::snapshotPair:
+        return "the checkpoint stream has no framing between "
+               "objects: a class overriding only one of "
+               "snapshot(SnapshotWriter&)/restore(SnapshotReader&) "
+               "desyncs every object serialized after it "
+               "(whitelist: sim/event_queue)";
     }
     return "";
 }

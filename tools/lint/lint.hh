@@ -32,6 +32,14 @@
  *                   raw pointers: pointer order is
  *                   allocator-dependent, so iteration order varies
  *                   run to run
+ *   snapshot-pair   a class overriding one of the checkpoint pair
+ *                   snapshot(SnapshotWriter&) /
+ *                   restore(SnapshotReader&) without the other: the
+ *                   writer and reader must walk the same record
+ *                   sequence, so a one-sided override desyncs the
+ *                   stream for every object serialized after it
+ *                   (whitelist: sim/event_queue, whose save/restore
+ *                   pair is the kernel-side convention)
  *
  * Findings can be suppressed with a comment on the same or the
  * preceding line:
@@ -76,6 +84,7 @@ enum class Rule
     chunkAlloc,
     staticState,
     pointerKey,
+    snapshotPair,
 };
 
 /** The stable name used in output lines and allow() directives. */
